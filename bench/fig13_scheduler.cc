@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 13: data-processing bandwidth of the four PRAM subsystem
+ * scheduler configurations — Bare-metal (noop), Interleaving,
+ * selective-erasing, and Final — across Polybench, with each
+ * workload's write ratio. The paper reports Interleaving up to +54%
+ * (trmm), selective-erasing +57% on the write-bound kernels, and
+ * Final +77% on average.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dramless;
+
+int
+main()
+{
+    auto opts = bench::defaultOptions();
+    std::printf("Figure 13: scheduler configurations on DRAM-less "
+                "(scale %.2f)\n\n",
+                opts.workloadScale);
+    std::printf("%-8s %7s %10s %12s %12s %10s | %7s %7s %7s\n",
+                "kernel", "wr%", "Bare MB/s", "Interleave",
+                "sel-erase", "Final", "I/B", "S/B", "F/B");
+    std::printf("%.*s\n", 92,
+                "--------------------------------------------------"
+                "--------------------------------------------------");
+
+    using systems::IntegratedKind;
+    const IntegratedKind variants[] = {
+        IntegratedKind::dramLessBareMetal,
+        IntegratedKind::dramLessInterleaving,
+        IntegratedKind::dramLessSelectiveErase,
+        IntegratedKind::dramLess,
+    };
+
+    std::vector<double> gain_i, gain_s, gain_f;
+    for (const auto &spec : workload::Polybench::all()) {
+        double bw[4] = {0, 0, 0, 0};
+        for (int v = 0; v < 4; ++v) {
+            std::fprintf(stderr, "  running %-8s variant %d\r",
+                         spec.name.c_str(), v);
+            std::fflush(stderr);
+            auto sys = systems::SystemFactory::createDramLessVariant(
+                variants[v], opts);
+            bw[v] = sys->run(spec).bandwidthMBps;
+        }
+        gain_i.push_back(bw[1] / bw[0]);
+        gain_s.push_back(bw[2] / bw[0]);
+        gain_f.push_back(bw[3] / bw[0]);
+        std::printf("%-8s %6.0f%% %10.1f %12.1f %12.1f %10.1f |"
+                    " %6.2fx %6.2fx %6.2fx\n",
+                    spec.name.c_str(), spec.writeRatio() * 100,
+                    bw[0], bw[1], bw[2], bw[3], bw[1] / bw[0],
+                    bw[2] / bw[0], bw[3] / bw[0]);
+    }
+    std::fprintf(stderr, "%-40s\r", "");
+    std::printf("%.*s\n", 92,
+                "--------------------------------------------------"
+                "--------------------------------------------------");
+    std::printf("%-8s %s %49.2fx %6.2fx %6.2fx\n", "geomean", "",
+                stats::geomean(gain_i), stats::geomean(gain_s),
+                stats::geomean(gain_f));
+    std::printf("\npaper shapes: Interleaving helps strided/read "
+                "kernels most (trmm +54%%);\nselective-erasing helps "
+                "the overwrite-bound kernels; Final wins "
+                "everywhere.\n");
+    return 0;
+}

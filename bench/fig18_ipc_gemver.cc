@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Figure 18: total-IPC time series under the read-intensive gemver.
+ */
+
+#include "timeseries_common.hh"
+
+int
+main()
+{
+    return dramless::bench::ipcFigure("Figure 18", "gemver");
+}

@@ -1,0 +1,12 @@
+/**
+ * @file
+ * Figure 19: total-IPC time series under the write-intensive doitg.
+ */
+
+#include "timeseries_common.hh"
+
+int
+main()
+{
+    return dramless::bench::ipcFigure("Figure 19", "doitg");
+}

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 20: core power and total energy over the first 16 KiB of
+ * gemver (read-intensive).
+ */
+
+#include "timeseries_common.hh"
+
+int
+main()
+{
+    return dramless::bench::powerFigure("Figure 20", "gemver");
+}

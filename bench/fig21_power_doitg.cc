@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Figure 21: core power and total energy over the first 16 KiB of
+ * doitg (write-intensive).
+ */
+
+#include "timeseries_common.hh"
+
+int
+main()
+{
+    return dramless::bench::powerFigure("Figure 21", "doitg");
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries: run
+ * matrices over (system, workload), aligned table printing, and the
+ * DRAMLESS_SCALE environment knob.
+ */
+
+#ifndef DRAMLESS_BENCH_HARNESS_HH
+#define DRAMLESS_BENCH_HARNESS_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dramless.hh"
+
+namespace dramless
+{
+namespace bench
+{
+
+/** Workload-volume scale; override with DRAMLESS_SCALE=0.5 etc. */
+inline double
+scaleFromEnv(double fallback = 0.25)
+{
+    const char *env = std::getenv("DRAMLESS_SCALE");
+    if (env == nullptr)
+        return fallback;
+    double v = std::atof(env);
+    return v > 0.0 ? v : fallback;
+}
+
+/** Default options for the reproduction runs. */
+inline systems::SystemOptions
+defaultOptions()
+{
+    setQuiet(true);
+    systems::SystemOptions opts;
+    opts.workloadScale = scaleFromEnv();
+    return opts;
+}
+
+/** Run one (system, workload) pair on a fresh instance. */
+inline systems::RunResult
+runOne(systems::SystemKind kind, const workload::WorkloadSpec &spec,
+       const systems::SystemOptions &opts)
+{
+    auto sys = systems::SystemFactory::create(kind, opts);
+    return sys->run(spec);
+}
+
+/** Results keyed by (system label, workload name). */
+using ResultMatrix =
+    std::map<std::string, std::map<std::string, systems::RunResult>>;
+
+/** Run @p kinds x the full Polybench suite. */
+inline ResultMatrix
+runMatrix(const std::vector<systems::SystemKind> &kinds,
+          const systems::SystemOptions &opts,
+          bool progress = true)
+{
+    ResultMatrix out;
+    for (systems::SystemKind kind : kinds) {
+        const char *label = systems::SystemFactory::label(kind);
+        for (const auto &spec : workload::Polybench::all()) {
+            if (progress) {
+                std::fprintf(stderr, "  running %-20s %-8s\r", label,
+                             spec.name.c_str());
+                std::fflush(stderr);
+            }
+            out[label][spec.name] = runOne(kind, spec, opts);
+        }
+    }
+    if (progress)
+        std::fprintf(stderr, "%-48s\r", "");
+    return out;
+}
+
+/** Print one row of right-aligned numeric cells. */
+inline void
+printRow(const std::string &head,
+         const std::vector<double> &cells, const char *fmt = "%9.2f")
+{
+    std::printf("%-22s", head.c_str());
+    for (double v : cells)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+/** Print a header row of column labels. */
+inline void
+printHeader(const std::string &head,
+            const std::vector<std::string> &cols, int width = 9)
+{
+    std::printf("%-22s", head.c_str());
+    for (const auto &c : cols)
+        std::printf("%*s", width, c.c_str());
+    std::printf("\n");
+}
+
+/** Column labels: the fifteen workloads. */
+inline std::vector<std::string>
+workloadColumns()
+{
+    std::vector<std::string> cols;
+    for (const auto &spec : workload::Polybench::all())
+        cols.push_back(spec.name);
+    return cols;
+}
+
+/** Geometric mean over all workloads of @p f(result). */
+template <typename F>
+double
+geomeanOver(const std::map<std::string, systems::RunResult> &row,
+            F &&f)
+{
+    std::vector<double> vals;
+    for (const auto &[_, r] : row)
+        vals.push_back(f(r));
+    return stats::geomean(vals);
+}
+
+/** Render a time series as a compact two-row text sparkline. */
+inline void
+printSeries(const std::string &label, const stats::TimeSeries &ts,
+            std::size_t points, double scale_to = 0.0)
+{
+    auto pts = ts.downsample(points);
+    double peak = 1e-12;
+    for (const auto &p : pts)
+        peak = std::max(peak, p.value);
+    if (scale_to > 0.0)
+        peak = scale_to;
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+",
+                                   "*", "#", "%", "@"};
+    std::printf("%-22s|", label.c_str());
+    for (const auto &p : pts) {
+        int level = int(p.value / peak * 9.0 + 0.5);
+        level = std::max(0, std::min(9, level));
+        std::printf("%s", glyphs[level]);
+    }
+    std::printf("| peak %.2f\n", peak);
+}
+
+} // namespace bench
+} // namespace dramless
+
+#endif // DRAMLESS_BENCH_HARNESS_HH

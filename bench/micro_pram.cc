@@ -1,0 +1,148 @@
+/**
+ * @file
+ * PRAM device micro-benchmarks (google-benchmark): raw module
+ * operation latencies driven through the LPDDR2-NVM protocol, plus
+ * simulator event throughput. Counters carry the *simulated*
+ * latencies (Table II checks).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "pram/pram_module.hh"
+
+using namespace dramless;
+using namespace dramless::pram;
+
+namespace
+{
+
+struct Device
+{
+    EventQueue eq;
+    PramModule mod;
+
+    Device()
+        : mod(eq, PramGeometry::paperDefault(),
+              PramTiming::paperDefault(), "mod",
+              /*functional=*/false)
+    {
+        setQuiet(true);
+    }
+
+    Tick
+    fullRead(std::uint64_t addr)
+    {
+        Tick start = eq.curTick();
+        DecomposedAddress d = mod.decomposer().decompose(addr);
+        eq.runUntil(mod.preActive(0, d.upperRow, d.partition));
+        eq.runUntil(mod.activate(0, d.lowerRow));
+        BurstTiming bt = mod.readBurst(0, 0, 32);
+        eq.runUntil(bt.lastData);
+        return eq.curTick() - start;
+    }
+
+    Tick
+    programWord(std::uint64_t word, const std::uint8_t *data)
+    {
+        Tick start = eq.curTick();
+        auto ow_write = [&](std::uint32_t off, const void *src,
+                            std::uint32_t len) {
+            std::uint64_t a = mod.overlayWindow().base() + off;
+            DecomposedAddress d = mod.decomposer().decompose(a);
+            eq.runUntil(mod.preActive(0, d.upperRow, d.partition));
+            eq.runUntil(mod.activate(0, d.lowerRow));
+            BurstTiming bt = mod.writeBurst(0, d.column, len, src);
+            eq.runUntil(bt.lastData + mod.timing().tWRA);
+        };
+        std::uint32_t code = ow::cmdBufferProgram;
+        ow_write(ow::codeReg, &code, 4);
+        std::uint32_t w32 = std::uint32_t(word);
+        ow_write(ow::addressReg, &w32, 4);
+        std::uint32_t n = 32;
+        ow_write(ow::multiPurposeReg, &n, 4);
+        ow_write(ow::programBufferBase, data, 32);
+        std::uint32_t go = 1;
+        ow_write(ow::executeReg, &go, 4);
+        eq.runUntil(mod.programBusyUntil());
+        return eq.curTick() - start;
+    }
+};
+
+} // anonymous namespace
+
+static void
+BM_ThreePhaseRead(benchmark::State &state)
+{
+    Device dev;
+    std::uint64_t addr = 0;
+    Tick lat = 0;
+    const std::uint64_t wrap =
+        PramGeometry::paperDefault().moduleBytes() / 2;
+    for (auto _ : state) {
+        lat = dev.fullRead(addr);
+        addr = (addr + 32 * 16 * 256) % wrap; // avoid row-buffer hits
+    }
+    state.counters["simReadNs"] = toNs(lat);
+}
+BENCHMARK(BM_ThreePhaseRead);
+
+static void
+BM_OverwriteProgram(benchmark::State &state)
+{
+    Device dev;
+    std::array<std::uint8_t, 32> data;
+    data.fill(0x5A);
+    std::uint64_t word = 0;
+    const std::uint64_t wrap =
+        PramGeometry::paperDefault().moduleBytes() / 64;
+    Tick lat = 0;
+    for (auto _ : state) {
+        lat = dev.programWord(word, data.data());
+        word = (word + 16) % wrap; // stay in partition 0, fresh rows
+    }
+    state.counters["simOverwriteUs"] = toUs(lat);
+}
+BENCHMARK(BM_OverwriteProgram);
+
+static void
+BM_SetOnlyProgramAfterPreErase(benchmark::State &state)
+{
+    Device dev;
+    std::array<std::uint8_t, 32> zeros{};
+    std::array<std::uint8_t, 32> data;
+    data.fill(0x77);
+    std::uint64_t word = 0;
+    const std::uint64_t wrap =
+        PramGeometry::paperDefault().moduleBytes() / 64;
+    Tick lat = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        dev.programWord(word, zeros.data()); // selective pre-erase
+        state.ResumeTiming();
+        lat = dev.programWord(word, data.data());
+        word = (word + 16) % wrap;
+    }
+    state.counters["simSetOnlyUs"] = toUs(lat);
+}
+BENCHMARK(BM_SetOnlyProgramAfterPreErase);
+
+static void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    // Raw kernel speed: how many events per second the simulator
+    // sustains (matters for large sweeps).
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "noop");
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        eq.schedule(&ev, eq.curTick() + 1);
+        eq.run();
+        ++n;
+    }
+    state.SetItemsProcessed(std::int64_t(n));
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+BENCHMARK_MAIN();

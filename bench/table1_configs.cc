@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table I: important configuration parameters for all accelerated
+ * systems evaluated.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace dramless;
+
+int
+main()
+{
+    std::printf("Table I: configuration of the evaluated systems\n");
+    std::printf("%-19s %-6s %-9s %-10s %-10s %-10s\n", "system",
+                "hetero", "int.DRAM", "read(us)", "write(us)",
+                "erase(us)");
+    std::printf("%.*s\n", 70,
+                "----------------------------------------"
+                "----------------------------------------");
+    for (auto kind : systems::SystemFactory::evaluationOrder()) {
+        systems::SystemInfo info = systems::SystemFactory::info(kind);
+        std::printf("%-19s %-6s %-9s %-10s %-10s %-10s\n", info.label,
+                    info.heterogeneous ? "yes" : "no",
+                    info.internalDram ? "yes" : "no", info.nvmRead,
+                    info.nvmWrite, info.nvmErase);
+    }
+    auto fw = systems::SystemFactory::info(
+        systems::SystemKind::dramLessFirmware);
+    std::printf("%-19s %-6s %-9s %-10s %-10s %-10s\n", fw.label,
+                fw.heterogeneous ? "yes" : "no",
+                fw.internalDram ? "yes" : "no", fw.nvmRead,
+                fw.nvmWrite, fw.nvmErase);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table II: characterized PRAM parameters, printed from the live
+ * model configuration so the table always reflects what the
+ * simulator actually uses.
+ */
+
+#include <cstdio>
+
+#include "pram/geometry.hh"
+#include "pram/timing.hh"
+#include "sim/ticks.hh"
+
+using namespace dramless;
+
+int
+main()
+{
+    pram::PramTiming t = pram::PramTiming::paperDefault();
+    pram::PramGeometry g = pram::PramGeometry::paperDefault();
+
+    std::printf("Table II: characterized PRAM parameters\n");
+    std::printf("%-18s %-14s   %-18s %-14s\n", "parameter", "value",
+                "parameter", "value");
+    std::printf("%.*s\n", 68,
+                "----------------------------------------"
+                "----------------------------------------");
+    std::printf("%-18s %-14llu   %-18s %-14.1f\n", "RL (cycles)",
+                (unsigned long long)t.rl, "tRCD (ns)", toNs(t.tRCD));
+    std::printf("%-18s %-14llu   %-18s %-14.1f\n", "WL (cycles)",
+                (unsigned long long)t.wl, "tDQSCK (ns)",
+                toNs(t.tDQSCK));
+    std::printf("%-18s %-14.1f   %-18s %-14.1f\n", "tCK (ns)",
+                toNs(t.tCK), "tDQSS (ns)", toNs(t.tDQSS));
+    std::printf("%-18s %-14llu   %-18s %-14.1f\n", "tRP (cycles)",
+                (unsigned long long)t.tRP, "tWRA (ns)", toNs(t.tWRA));
+    std::printf("%-18s %-14s   %-18s %-14s\n", "tBURST (cycles)",
+                "4/8/16", "RDB", "32B, 4 RDBs");
+    std::printf("%-18s %-14u   %-18s %-14s\n", "RAB",
+                g.numRowBuffers, "PRAM write (us)", "10-18");
+    std::printf("%-18s %-14u   %-18s %-14u\n", "Channels", 2u,
+                "Partitions", g.partitionsPerBank);
+    std::printf("%-18s %-14u   %-18s %-14.0f\n", "Packages", 16u,
+                "Erase (ms)", toMs(t.eraseLatency));
+    std::printf("\nderived:\n");
+    Tick read_total = t.preActiveTime() + t.tRCD +
+                      t.readPreamble() +
+                      t.burstTime(pram::BurstLength::BL16);
+    std::printf("  full three-phase 32B read : %.1f ns "
+                "(paper: ~100 ns)\n",
+                toNs(read_total));
+    std::printf("  pristine program / overwrite : %.0f / %.0f us\n",
+                toUs(t.cellProgram), toUs(t.cellOverwrite));
+    std::printf("  module capacity           : %.1f GiB"
+                " (%u partitions x %u tiles x 2048 BL x 4096 WL)\n",
+                double(g.moduleBytes()) / double(1ull << 30),
+                g.partitionsPerBank, g.tilesPerPartition);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table III: characteristics of the evaluated workloads — the
+ * modeled classification plus measured trace statistics (the write
+ * intensiveness is output volume over input volume, as in the
+ * paper).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "workload/trace_gen.hh"
+
+using namespace dramless;
+
+int
+main()
+{
+    double scale = bench::scaleFromEnv(1.0);
+    std::printf("Table III: workload characteristics "
+                "(volume scale %.2f)\n",
+                scale);
+    std::printf("%-8s %-18s %-11s %9s %9s %7s %8s\n", "name",
+                "class", "pattern", "in(MiB)", "out(MiB)", "out/in",
+                "ops/B");
+    std::printf("%.*s\n", 76,
+                "----------------------------------------"
+                "----------------------------------------");
+    for (const auto &base : workload::Polybench::all()) {
+        auto spec = base.scaled(scale);
+        std::printf("%-8s %-18s %-11s %9.2f %9.2f %7.2f %8.1f\n",
+                    spec.name.c_str(),
+                    workload::Polybench::className(spec.klass),
+                    workload::Polybench::patternName(spec.pattern),
+                    double(spec.inputBytes) / double(1 << 20),
+                    double(spec.outputBytes) / double(1 << 20),
+                    double(spec.outputBytes) /
+                        double(spec.inputBytes),
+                    spec.opsPerByte);
+    }
+
+    // Measured per-trace statistics for one agent slice.
+    std::printf("\nmeasured single-agent trace statistics "
+                "(of 7 agents):\n");
+    std::printf("%-8s %12s %12s %12s %12s\n", "name", "loads",
+                "stores", "instrs", "st/ld bytes");
+    for (const auto &base : workload::Polybench::all()) {
+        workload::TraceGenConfig tc;
+        tc.spec = base.scaled(scale * 0.25);
+        tc.numAgents = 7;
+        workload::PolybenchTraceSource src(tc);
+        accel::TraceItem it;
+        std::uint64_t loads = 0, stores = 0, instr = 0, lb = 0,
+                      sb = 0;
+        while (src.next(it)) {
+            switch (it.kind) {
+              case accel::TraceItem::Kind::load:
+                ++loads;
+                lb += it.size;
+                break;
+              case accel::TraceItem::Kind::store:
+                ++stores;
+                sb += it.size;
+                break;
+              case accel::TraceItem::Kind::compute:
+                instr += it.instructions;
+                break;
+            }
+        }
+        std::printf("%-8s %12llu %12llu %12llu %12.3f\n",
+                    base.name.c_str(), (unsigned long long)loads,
+                    (unsigned long long)stores,
+                    (unsigned long long)instr,
+                    double(sb) / double(lb));
+    }
+    return 0;
+}

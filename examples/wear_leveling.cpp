@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PRAM lifetime demo: Start-Gap wear leveling inside the DRAM-less
+ * controller (Section VII, "PRAM lifetime").
+ *
+ * Two views:
+ *  1. the algorithm at device-lifetime scale — a scaled-down line
+ *     space hammered long enough for the gap to rotate the address
+ *     map many times, showing how a pathological hot spot spreads
+ *     over every physical line;
+ *  2. the integrated controller — the same mapper running inside the
+ *     accelerator's PRAM subsystem, with gap-move copies issued as
+ *     real timed writes and data integrity preserved.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dramless.hh"
+#include "ctrl/start_gap.hh"
+
+using namespace dramless;
+
+int
+main()
+{
+    setQuiet(true);
+
+    // ---- 1. lifetime-scale behaviour of the algorithm ------------
+    // 4096 lines, gap moves every 64 writes: ~5.3M writes rotate the
+    // map through every position several times. A real device has
+    // ~64M lines and sees billions of writes over its life; the
+    // ratio (writes per line-rotation) is what matters.
+    constexpr std::uint64_t lines = 4096;
+    constexpr std::uint64_t hammer = 6'000'000;
+    ctrl::StartGapMapper sg(lines, 64);
+    std::vector<std::uint64_t> wear(sg.numPhysicalLines(), 0);
+    for (std::uint64_t i = 0; i < hammer; ++i) {
+        // 95% of writes hit one hot line; 5% background traffic.
+        std::uint64_t la = (i % 20 != 0) ? 7 : (i / 20) % lines;
+        ++wear[sg.map(la)];
+        sg.recordWrite();
+    }
+    std::uint64_t max_w = *std::max_element(wear.begin(), wear.end());
+    std::uint64_t min_w = *std::min_element(wear.begin(), wear.end());
+    double no_wl_max = double(hammer) * 0.95; // all on one cell
+    std::printf("lifetime-scale hot spot (%llu writes, 95%% on one "
+                "line, %llu lines):\n",
+                (unsigned long long)hammer,
+                (unsigned long long)lines);
+    std::printf("  without wear leveling : hottest line absorbs "
+                "%.0f programs\n",
+                no_wl_max);
+    std::printf("  with Start-Gap        : hottest %llu, coldest "
+                "%llu (%llu gap moves)\n",
+                (unsigned long long)max_w,
+                (unsigned long long)min_w,
+                (unsigned long long)sg.gapMoves());
+    std::printf("  hot-spot wear reduced %.0fx; endurance-limited "
+                "lifetime scales with it.\n\n",
+                no_wl_max / double(max_w));
+
+    // ---- 2. the integrated controller -----------------------------
+    core::DramLessConfig cfg;
+    cfg.wearLeveling = true;
+    core::DramLessAccelerator dl(cfg);
+
+    std::vector<std::uint8_t> block(2048, 0x42);
+    for (int i = 0; i < 300; ++i) {
+        block[0] = std::uint8_t(i);
+        dl.writeData(4096, block.data(), block.size());
+    }
+    const ctrl::StartGapMapper *wl = dl.pram().wearLeveler();
+    std::printf("integrated run: 300 rewrites of one 2 KiB block "
+                "through the controller\n");
+    std::printf("  writes recorded : %llu stripes\n",
+                (unsigned long long)wl->writeCount());
+    std::printf("  gap moves       : %llu (each a timed internal "
+                "copy)\n",
+                (unsigned long long)wl->gapMoves());
+
+    std::vector<std::uint8_t> out(block.size());
+    dl.fetchData(4096, out.data(), out.size());
+    bool intact = out == block;
+    std::printf("  data intact under rotation: %s\n",
+                intact ? "yes" : "NO");
+    std::printf("\nat device scale (64M lines) the same rotation "
+                "spreads any hot spot across\nthe full array over "
+                "the device lifetime, as in Qureshi et al. "
+                "[MICRO'09].\n");
+    return intact && double(max_w) < no_wl_max / 10.0 ? 0 : 1;
+}

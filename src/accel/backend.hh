@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory backend interface the accelerator's MCU drives.
+ *
+ * Concrete backends (src/systems) adapt the PRAM subsystem, the
+ * embedded SSDs with their page buffers, or the NOR-interface PRAM to
+ * this interface, so the same accelerator model runs over every
+ * storage organization of Table I.
+ */
+
+#ifndef DRAMLESS_ACCEL_BACKEND_HH
+#define DRAMLESS_ACCEL_BACKEND_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace accel
+{
+
+/** Asynchronous byte-addressed memory service. */
+class MemoryBackend
+{
+  public:
+    using Callback = std::function<void(std::uint64_t id, Tick when)>;
+
+    virtual ~MemoryBackend() = default;
+
+    /** Register the completion callback (one consumer: the MCU). */
+    virtual void setCallback(Callback cb) = 0;
+
+    /** @return true when a request of @p size can be admitted now. */
+    virtual bool canAccept(std::uint32_t size) const = 0;
+
+    /**
+     * Admit a request. @return an id passed to the callback when the
+     * request completes.
+     */
+    virtual std::uint64_t submit(std::uint64_t addr,
+                                 std::uint32_t size, bool is_write) = 0;
+
+    /** Advisory hint that [addr, addr+size) will be overwritten. */
+    virtual void
+    hintFutureWrite(std::uint64_t addr, std::uint64_t size)
+    {
+        (void)addr;
+        (void)size;
+    }
+
+    /** @return backing capacity in bytes. */
+    virtual std::uint64_t capacity() const = 0;
+};
+
+} // namespace accel
+} // namespace dramless
+
+#endif // DRAMLESS_ACCEL_BACKEND_HH

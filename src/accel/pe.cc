@@ -1,0 +1,291 @@
+#include "accel/pe.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/debug.hh"
+
+namespace dramless
+{
+namespace accel
+{
+
+ProcessingElement::ProcessingElement(EventQueue &eq,
+                                     const PeConfig &config,
+                                     std::string name)
+    : Clocked(eq, config.clockPeriod),
+      config_(config),
+      name_(std::move(name)),
+      l1_(config.l1, name_ + ".l1"),
+      l2_(config.l2, name_ + ".l2"),
+      stepEvent_([this] { step(); }, name_ + ".step")
+{
+    fatal_if(config.effectiveIssue <= 0.0,
+             "%s: issue rate must be positive", name_.c_str());
+}
+
+void
+ProcessingElement::setTrace(TraceSource *trace)
+{
+    panic_if(running_, "%s: trace swapped while running",
+             name_.c_str());
+    trace_ = trace;
+    finished_ = false;
+    traceExhausted_ = false;
+    haveItem_ = false;
+}
+
+void
+ProcessingElement::start(Tick when)
+{
+    panic_if(trace_ == nullptr, "%s: started without a trace",
+             name_.c_str());
+    panic_if(mcu_ == nullptr, "%s: started without an MCU",
+             name_.c_str());
+    panic_if(running_, "%s: double start", name_.c_str());
+    running_ = true;
+    runStart_ = when;
+    eventQueue().reschedule(&stepEvent_,
+                            std::max(when, eventQueue().curTick()));
+}
+
+void
+ProcessingElement::invalidateCaches()
+{
+    l1_.invalidateAll();
+    l2_.invalidateAll();
+}
+
+void
+ProcessingElement::step()
+{
+    if (!running_ || waitingLoad_ || waitingStore_)
+        return;
+
+    if (storeQueueUsed_ >= config_.storeQueueDepth) {
+        waitingStore_ = true;
+        stallStart_ = curTick();
+        return; // resumes when a posted write drains
+    }
+
+    if (!haveItem_) {
+        if (!trace_->next(item_)) {
+            if (!traceExhausted_) {
+                // Kernel complete: results dirty in the caches must
+                // reach persistent storage before completion is
+                // signalled to the server.
+                traceExhausted_ = true;
+                // Dirty L1 lines merge into their L2 copies; only
+                // lines without an L2 home flush separately.
+                for (std::uint64_t a : l1_.dirtyBlocks()) {
+                    CacheAccessResult wr = l2_.access(a, true, false);
+                    if (!wr.hit)
+                        flushQueue_.emplace_back(
+                            a, config_.l1.blockBytes);
+                }
+                for (std::uint64_t a : l2_.dirtyBlocks())
+                    flushQueue_.emplace_back(a,
+                                             config_.l2.blockBytes);
+                l1_.cleanAll();
+                l2_.cleanAll();
+            }
+            if (!flushQueue_.empty()) {
+                auto [addr, size] = flushQueue_.front();
+                flushQueue_.pop_front();
+                postWrite(addr, size);
+                eventQueue().reschedule(&stepEvent_, clockEdge(1));
+                return;
+            }
+            maybeFinish();
+            return;
+        }
+        haveItem_ = true;
+    }
+
+    switch (item_.kind) {
+      case TraceItem::Kind::compute: {
+        Cycles c = Cycles(std::max<double>(
+            1.0, std::ceil(double(item_.instructions) /
+                           config_.effectiveIssue)));
+        stats_.instructions += item_.instructions;
+        stats_.computeCycles += c;
+        busySinceSample_ += cyclesToTicks(c);
+        haveItem_ = false;
+        eventQueue().reschedule(&stepEvent_, clockEdge(c));
+        return;
+      }
+      case TraceItem::Kind::load:
+      case TraceItem::Kind::store: {
+        bool is_store = item_.kind == TraceItem::Kind::store;
+        if (is_store) {
+            ++stats_.stores;
+            if (!config_.writeAllocate) {
+                stepStoreNoAllocate();
+                return;
+            }
+        } else {
+            ++stats_.loads;
+        }
+        CacheAccessResult r1 = l1_.access(item_.addr, is_store);
+        if (r1.hit) {
+            Cycles c = config_.l1.latencyCycles;
+            stats_.memAccessCycles += c;
+            busySinceSample_ += cyclesToTicks(c);
+            haveItem_ = false;
+            eventQueue().reschedule(&stepEvent_, clockEdge(c));
+            return;
+        }
+        // L1 fill happens below; its dirty victim drains into L2.
+        if (r1.writeback) {
+            CacheAccessResult wr =
+                l2_.access(r1.writebackAddr, true, false);
+            if (!wr.hit)
+                postWrite(r1.writebackAddr, config_.l1.blockBytes);
+        }
+        CacheAccessResult r2 = l2_.access(item_.addr, is_store);
+        if (r2.hit) {
+            Cycles c = config_.l2.latencyCycles;
+            stats_.memAccessCycles += c;
+            busySinceSample_ += cyclesToTicks(c);
+            haveItem_ = false;
+            eventQueue().reschedule(&stepEvent_, clockEdge(c));
+            return;
+        }
+        // L2 miss: the server MCU fetches one L2 block (512 B per
+        // channel request shape); store misses fetch-then-merge
+        // (write allocate). The dirty victim, if any, is posted when
+        // the fill returns.
+        ++stats_.l2MissReads;
+        DPRINTF("PE", "%s miss addr=0x%llx -> fetch L2 block",
+                is_store ? "store" : "load",
+                (unsigned long long)item_.addr);
+        waitingLoad_ = true;
+        stallStart_ = curTick();
+        pendingWbValid_ = r2.writeback;
+        pendingWbAddr_ = r2.writebackAddr;
+        mcu_->read(l2_.blockBase(item_.addr), config_.l2.blockBytes,
+                   [this](Tick when) { loadReturned(when); });
+        return;
+      }
+    }
+    panic("%s: unreachable trace item kind", name_.c_str());
+}
+
+void
+ProcessingElement::stepStoreNoAllocate()
+{
+    CacheAccessResult r1 = l1_.access(item_.addr, true, false);
+    CacheAccessResult r2 =
+        r1.hit ? r1 : l2_.access(item_.addr, true, false);
+    if (r1.hit || r2.hit) {
+        Cycles c = r1.hit ? config_.l1.latencyCycles
+                          : config_.l2.latencyCycles;
+        stats_.memAccessCycles += c;
+        busySinceSample_ += cyclesToTicks(c);
+        haveItem_ = false;
+        eventQueue().reschedule(&stepEvent_, clockEdge(c));
+        return;
+    }
+    // Missed store: bypass the caches, drain through the store queue.
+    if (storeQueueUsed_ >= config_.storeQueueDepth) {
+        waitingStore_ = true;
+        stallStart_ = curTick();
+        return; // resumes when a queued store completes
+    }
+    ++storeQueueUsed_;
+    ++stats_.missedStoreWrites;
+    mcu_->write(item_.addr, item_.size,
+                [this](Tick when) { storeDrained(when); });
+    Cycles c = 1;
+    stats_.memAccessCycles += c;
+    busySinceSample_ += cyclesToTicks(c);
+    haveItem_ = false;
+    eventQueue().reschedule(&stepEvent_, clockEdge(c));
+}
+
+void
+ProcessingElement::postWrite(std::uint64_t addr, std::uint32_t size)
+{
+    // Writebacks are posted but bounded: the core pauses at the next
+    // step when the queue is full, exposing the backend's write
+    // bandwidth as backpressure.
+    ++storeQueueUsed_;
+    ++stats_.writebackWrites;
+    mcu_->write(addr, size,
+                [this](Tick when) { storeDrained(when); });
+}
+
+void
+ProcessingElement::loadReturned(Tick when)
+{
+    panic_if(!waitingLoad_, "%s: spurious load return",
+             name_.c_str());
+    waitingLoad_ = false;
+    stats_.loadStallTicks += when - stallStart_;
+    if (pendingWbValid_) {
+        postWrite(pendingWbAddr_, config_.l2.blockBytes);
+        pendingWbValid_ = false;
+    }
+    // The L1/L2 tag state was updated when the miss was detected; the
+    // returning fill only costs the L2 access latency here.
+    Cycles c = config_.l2.latencyCycles;
+    stats_.memAccessCycles += c;
+    busySinceSample_ += cyclesToTicks(c);
+    haveItem_ = false;
+    eventQueue().reschedule(&stepEvent_, clockEdge(c));
+}
+
+void
+ProcessingElement::storeDrained(Tick when)
+{
+    panic_if(storeQueueUsed_ == 0, "%s: store queue underflow",
+             name_.c_str());
+    --storeQueueUsed_;
+    if (waitingStore_) {
+        waitingStore_ = false;
+        stats_.storeStallTicks += when - stallStart_;
+        eventQueue().reschedule(&stepEvent_, clockEdge());
+    }
+    if (traceExhausted_)
+        maybeFinish();
+}
+
+void
+ProcessingElement::maybeFinish()
+{
+    if (!traceExhausted_ || !flushQueue_.empty() ||
+        storeQueueUsed_ > 0 || waitingLoad_ || finished_) {
+        return;
+    }
+    running_ = false;
+    finished_ = true;
+    DPRINTF("PE", "kernel complete: %llu instructions",
+            (unsigned long long)stats_.instructions);
+    if (onDone_)
+        onDone_();
+}
+
+double
+ProcessingElement::drainActivitySample()
+{
+    Tick now = curTick();
+    Tick span = now - lastSampleTick_;
+    double frac =
+        span == 0 ? 0.0
+                  : std::min(1.0, double(busySinceSample_) /
+                                      double(span));
+    busySinceSample_ = 0;
+    lastSampleTick_ = now;
+    return frac;
+}
+
+std::uint64_t
+ProcessingElement::drainInstructionSample()
+{
+    std::uint64_t delta = stats_.instructions - instrAtSample_;
+    instrAtSample_ = stats_.instructions;
+    return delta;
+}
+
+} // namespace accel
+} // namespace dramless

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Power/sleep controller (PSC) of the accelerator (Figure 6a).
+ *
+ * The server suspends and resumes agent PEs through the PSC when
+ * scheduling kernels. The model tracks per-PE power states over time
+ * so the energy model can integrate state residency.
+ */
+
+#ifndef DRAMLESS_ACCEL_PSC_HH
+#define DRAMLESS_ACCEL_PSC_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace accel
+{
+
+/** PE power states the PSC manages. */
+enum class PowerState : std::uint8_t
+{
+    off = 0,
+    sleep = 1,
+    active = 2,
+};
+
+/** Per-PE power-state residency tracker. */
+class PowerSleepController
+{
+  public:
+    explicit PowerSleepController(std::uint32_t num_pes)
+        : states_(num_pes, PowerState::sleep),
+          lastChange_(num_pes, 0)
+    {
+        for (auto &r : residency_)
+            r.assign(num_pes, 0);
+    }
+
+    /** @return the current state of PE @p pe. */
+    PowerState
+    state(std::uint32_t pe) const
+    {
+        return states_.at(pe);
+    }
+
+    /** Transition PE @p pe to @p next at tick @p when. */
+    void
+    setState(std::uint32_t pe, PowerState next, Tick when)
+    {
+        panic_if(pe >= states_.size(), "PSC: PE out of range");
+        panic_if(when < lastChange_[pe],
+                 "PSC: transition before the previous one");
+        residency_[std::size_t(states_[pe])][pe] +=
+            when - lastChange_[pe];
+        states_[pe] = next;
+        lastChange_[pe] = when;
+    }
+
+    /** Close the books at @p when and return residency of @p pe in
+     *  @p s, in ticks. */
+    Tick
+    residency(std::uint32_t pe, PowerState s, Tick when) const
+    {
+        Tick total = residency_[std::size_t(s)].at(pe);
+        if (states_[pe] == s && when > lastChange_[pe])
+            total += when - lastChange_[pe];
+        return total;
+    }
+
+    /** @return number of PEs managed. */
+    std::uint32_t numPes() const
+    {
+        return std::uint32_t(states_.size());
+    }
+
+  private:
+    std::vector<PowerState> states_;
+    std::vector<Tick> lastChange_;
+    std::array<std::vector<Tick>, 3> residency_;
+};
+
+} // namespace accel
+} // namespace dramless
+
+#endif // DRAMLESS_ACCEL_PSC_HH

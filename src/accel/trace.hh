@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Abstract execution trace consumed by a processing element.
+ *
+ * The PEs are trace-driven: a workload model (src/workload) produces
+ * a lazy stream of compute bursts and memory accesses per agent, and
+ * the PE turns them into cycles, cache traffic and stalls.
+ */
+
+#ifndef DRAMLESS_ACCEL_TRACE_HH
+#define DRAMLESS_ACCEL_TRACE_HH
+
+#include <cstdint>
+
+namespace dramless
+{
+namespace accel
+{
+
+/** One unit of PE work. */
+struct TraceItem
+{
+    enum class Kind
+    {
+        /** Execute @c instructions functional-unit operations. */
+        compute,
+        /** Load @c size bytes at @c addr. */
+        load,
+        /** Store @c size bytes at @c addr. */
+        store,
+    };
+
+    Kind kind = Kind::compute;
+    /** Instructions for compute items. */
+    std::uint64_t instructions = 0;
+    /** Byte address for memory items. */
+    std::uint64_t addr = 0;
+    /** Access size for memory items. */
+    std::uint32_t size = 0;
+
+    static TraceItem
+    computeOf(std::uint64_t instructions)
+    {
+        TraceItem it;
+        it.kind = Kind::compute;
+        it.instructions = instructions;
+        return it;
+    }
+
+    static TraceItem
+    loadOf(std::uint64_t addr, std::uint32_t size)
+    {
+        TraceItem it;
+        it.kind = Kind::load;
+        it.addr = addr;
+        it.size = size;
+        return it;
+    }
+
+    static TraceItem
+    storeOf(std::uint64_t addr, std::uint32_t size)
+    {
+        TraceItem it;
+        it.kind = Kind::store;
+        it.addr = addr;
+        it.size = size;
+        return it;
+    }
+};
+
+/** Lazy trace stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next item.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(TraceItem &out) = 0;
+};
+
+} // namespace accel
+} // namespace dramless
+
+#endif // DRAMLESS_ACCEL_TRACE_HH

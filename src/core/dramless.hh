@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Single-include public header of the DRAM-less library.
+ *
+ * Most users need only:
+ *   - core::DramLessAccelerator — the accelerator facade
+ *   - core::KernelImage — the packData/unpackData programming model
+ *   - workload::Polybench — the evaluated workload suite
+ *   - systems::SystemFactory — the comparison systems of the paper
+ */
+
+#ifndef DRAMLESS_CORE_DRAMLESS_HH
+#define DRAMLESS_CORE_DRAMLESS_HH
+
+#include "core/dramless_accelerator.hh"
+#include "core/kernel_image.hh"
+#include "systems/factory.hh"
+#include "workload/polybench.hh"
+#include "workload/trace_gen.hh"
+
+#endif // DRAMLESS_CORE_DRAMLESS_HH

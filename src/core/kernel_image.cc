@@ -1,0 +1,130 @@
+#include "core/kernel_image.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace core
+{
+
+namespace
+{
+
+constexpr std::uint32_t imageMagic = 0x444C4B49; // "IKLD"
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.insert(out.end(),
+               {std::uint8_t(v), std::uint8_t(v >> 8),
+                std::uint8_t(v >> 16), std::uint8_t(v >> 24)});
+}
+
+void
+put64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    put32(out, std::uint32_t(v));
+    put32(out, std::uint32_t(v >> 32));
+}
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    fatal_if(pos + 4 > in.size(), "kernel image truncated");
+    std::uint32_t v = std::uint32_t(in[pos]) |
+                      std::uint32_t(in[pos + 1]) << 8 |
+                      std::uint32_t(in[pos + 2]) << 16 |
+                      std::uint32_t(in[pos + 3]) << 24;
+    pos += 4;
+    return v;
+}
+
+std::uint64_t
+get64(const std::vector<std::uint8_t> &in, std::size_t &pos)
+{
+    std::uint64_t lo = get32(in, pos);
+    std::uint64_t hi = get32(in, pos);
+    return lo | (hi << 32);
+}
+
+} // anonymous namespace
+
+KernelImage
+KernelImage::pack(std::vector<KernelSegment> segments)
+{
+    fatal_if(segments.empty(), "packData: no segments");
+    KernelImage img;
+    // Metadata header: magic, segment count, then per-segment
+    // (name, load address, entry offset, payload size).
+    put32(img.blob_, imageMagic);
+    put32(img.blob_, std::uint32_t(segments.size()));
+    for (const KernelSegment &seg : segments) {
+        fatal_if(seg.name.empty(), "packData: unnamed segment");
+        fatal_if(seg.name.size() > 255, "packData: name too long");
+        img.blob_.push_back(std::uint8_t(seg.name.size()));
+        img.blob_.insert(img.blob_.end(), seg.name.begin(),
+                         seg.name.end());
+        put64(img.blob_, seg.loadAddress);
+        put64(img.blob_, seg.entryOffset);
+        put64(img.blob_, seg.payload.size());
+    }
+    for (const KernelSegment &seg : segments) {
+        img.blob_.insert(img.blob_.end(), seg.payload.begin(),
+                         seg.payload.end());
+    }
+    img.segments_ = std::move(segments);
+    return img;
+}
+
+KernelImage
+KernelImage::unpack(const std::vector<std::uint8_t> &blob)
+{
+    std::size_t pos = 0;
+    fatal_if(get32(blob, pos) != imageMagic,
+             "unpackData: bad image magic");
+    std::uint32_t count = get32(blob, pos);
+    fatal_if(count == 0 || count > 4096,
+             "unpackData: implausible segment count");
+
+    std::vector<KernelSegment> segs(count);
+    for (KernelSegment &seg : segs) {
+        fatal_if(pos >= blob.size(), "kernel image truncated");
+        std::uint8_t name_len = blob[pos++];
+        fatal_if(pos + name_len > blob.size(),
+                 "kernel image truncated");
+        seg.name.assign(blob.begin() + std::ptrdiff_t(pos),
+                        blob.begin() + std::ptrdiff_t(pos) +
+                            name_len);
+        pos += name_len;
+        seg.loadAddress = get64(blob, pos);
+        seg.entryOffset = get64(blob, pos);
+        seg.payload.resize(get64(blob, pos));
+    }
+    for (KernelSegment &seg : segs) {
+        fatal_if(pos + seg.payload.size() > blob.size(),
+                 "kernel image truncated");
+        std::memcpy(seg.payload.data(), blob.data() + pos,
+                    seg.payload.size());
+        pos += seg.payload.size();
+    }
+
+    KernelImage img;
+    img.blob_ = blob;
+    img.segments_ = std::move(segs);
+    return img;
+}
+
+const KernelSegment &
+KernelImage::segment(const std::string &name) const
+{
+    for (const KernelSegment &seg : segments_) {
+        if (seg.name == name)
+            return seg;
+    }
+    fatal("kernel image has no segment '%s'", name.c_str());
+}
+
+} // namespace core
+} // namespace dramless

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel image packing/unpacking — the packData / unpackData halves
+ * of the DRAM-less programming model (Figure 10).
+ *
+ * The host packs per-application code segments plus shared common
+ * code and metadata describing where each segment must land in the
+ * accelerator's memory; the server later extracts the metadata and
+ * loads the segments to their target addresses.
+ */
+
+#ifndef DRAMLESS_CORE_KERNEL_IMAGE_HH
+#define DRAMLESS_CORE_KERNEL_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dramless
+{
+namespace core
+{
+
+/** One code segment of a packed kernel image. */
+struct KernelSegment
+{
+    /** Application name (e.g. "app0", or "shared"). */
+    std::string name;
+    /** Accelerator memory address the segment loads to. */
+    std::uint64_t loadAddress = 0;
+    /** Boot entry offset within the segment. */
+    std::uint64_t entryOffset = 0;
+    /** Segment payload (code bytes). */
+    std::vector<std::uint8_t> payload;
+};
+
+/** A packed kernel image: metadata header plus segment payloads. */
+class KernelImage
+{
+  public:
+    /**
+     * packData: pack @p segments (apps plus shared code) with their
+     * load metadata into one downloadable image.
+     */
+    static KernelImage pack(std::vector<KernelSegment> segments);
+
+    /**
+     * unpackData: parse an image blob back into segments (what the
+     * server does after pushData).
+     * @return the reconstructed image; fatal on a corrupt blob.
+     */
+    static KernelImage unpack(const std::vector<std::uint8_t> &blob);
+
+    /** @return the serialized image (what pushData transfers). */
+    const std::vector<std::uint8_t> &bytes() const { return blob_; }
+
+    /** @return total image size in bytes. */
+    std::uint64_t size() const { return blob_.size(); }
+
+    /** @return the packed segments. */
+    const std::vector<KernelSegment> &segments() const
+    {
+        return segments_;
+    }
+
+    /** @return the segment named @p name (fatal when absent). */
+    const KernelSegment &segment(const std::string &name) const;
+
+  private:
+    KernelImage() = default;
+
+    std::vector<KernelSegment> segments_;
+    std::vector<std::uint8_t> blob_;
+};
+
+} // namespace core
+} // namespace dramless
+
+#endif // DRAMLESS_CORE_KERNEL_IMAGE_HH

@@ -1,0 +1,817 @@
+#include "ctrl/channel_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/debug.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+namespace
+{
+
+/** Demand sub-ops scanned per module per pass when interleaving. */
+constexpr std::uint32_t schedLookahead = 8;
+
+} // anonymous namespace
+
+ChannelController::ChannelController(EventQueue &eq,
+                                     std::uint32_t num_modules,
+                                     const pram::PramGeometry &geom,
+                                     const pram::PramTiming &timing,
+                                     const SchedulerConfig &config,
+                                     std::string name, bool functional)
+    : Clocked(eq, timing.tCK),
+      config_(config),
+      name_(std::move(name)),
+      geom_(geom),
+      phy_(eq, timing.tCK),
+      schedulerEvent_([this] { schedule(); }, name_ + ".sched"),
+      completionEvent_([this] { completionTrigger(); },
+                       name_ + ".completion")
+{
+    fatal_if(num_modules == 0, "channel needs at least one module");
+    modules_.reserve(num_modules);
+    moduleStates_.resize(num_modules);
+    for (std::uint32_t i = 0; i < num_modules; ++i) {
+        modules_.push_back(std::make_unique<pram::PramModule>(
+            eq, geom, timing, name_ + csprintf(".mod%u", i),
+            functional));
+        moduleStates_[i].rabBusyUntil.assign(geom.numRowBuffers, 0);
+        moduleStates_[i].rabLastUse.assign(geom.numRowBuffers, 0);
+        moduleStates_[i].lastCode = pram::ow::cmdNone;
+    }
+    usableWordsPerModule_ =
+        modules_.front()->overlayWindow().base() / geom.rowBufferBytes;
+}
+
+std::uint64_t
+ChannelController::capacity() const
+{
+    return usableWordsPerModule_ * modules_.size() *
+           geom_.rowBufferBytes;
+}
+
+bool
+ChannelController::canAccept(const MemRequest &req) const
+{
+    std::uint64_t words = req.size / geom_.rowBufferBytes;
+    for (std::uint64_t i = 0; i < words; ++i) {
+        std::uint64_t word = req.addr / geom_.rowBufferBytes + i;
+        const ModuleState &mstate = moduleStates_[moduleOfWord(word)];
+        if (mstate.demand.size() >= config_.maxQueuePerModule)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+ChannelController::enqueue(const MemRequest &req)
+{
+    fatal_if(req.size == 0 || req.size % geom_.rowBufferBytes != 0,
+             "%s: request size %u is not a multiple of the %u-byte "
+             "access unit",
+             name_.c_str(), req.size, geom_.rowBufferBytes);
+    fatal_if(req.addr % geom_.rowBufferBytes != 0,
+             "%s: request address 0x%llx misaligned", name_.c_str(),
+             (unsigned long long)req.addr);
+    fatal_if(req.addr + req.size > capacity(),
+             "%s: request beyond capacity", name_.c_str());
+
+    std::uint64_t id = nextReqId_++;
+    std::uint32_t words = req.size / geom_.rowBufferBytes;
+    DPRINTF("Ctrl", "enqueue %s id=%llu addr=0x%llx words=%u",
+            req.kind == ReqKind::write ? "write" : "read",
+            (unsigned long long)id, (unsigned long long)req.addr,
+            words);
+    RequestState &rstate = requests_[id];
+    rstate.remainingSubOps = words;
+    rstate.isWrite = (req.kind == ReqKind::write);
+    rstate.enqueuedAt = curTick();
+
+    if (rstate.isWrite) {
+        ++stats_.writeRequests;
+        stats_.writeWords += words;
+    } else {
+        ++stats_.readRequests;
+        stats_.readWords += words;
+    }
+
+    std::uint64_t first_word = req.addr / geom_.rowBufferBytes;
+    for (std::uint32_t i = 0; i < words; ++i) {
+        std::uint64_t word = first_word + i;
+        std::uint32_t m = moduleOfWord(word);
+        std::uint64_t mword = moduleWordOf(word);
+        ModuleState &mstate = moduleStates_[m];
+        pram::PramModule &mod = *modules_[m];
+
+        auto sub = std::make_unique<SubOp>();
+        sub->seq = nextSeq_++;
+        sub->reqId = id;
+        sub->module = m;
+        sub->isWrite = rstate.isWrite;
+        sub->moduleWord = mword;
+        sub->targetPartition =
+            mod.decomposer()
+                .decompose(mword * geom_.rowBufferBytes)
+                .partition;
+
+        if (rstate.isWrite) {
+            std::array<std::uint8_t, 32> data;
+            if (req.writeFrom != nullptr) {
+                std::memcpy(data.data(),
+                            static_cast<const std::uint8_t *>(
+                                req.writeFrom) +
+                                std::uint64_t(i) * geom_.rowBufferBytes,
+                            geom_.rowBufferBytes);
+            } else {
+                // Timing-only writes carry a non-zero pattern so they
+                // are never misclassified as RESET-mimicking zero
+                // programs.
+                data.fill(0xA5);
+            }
+            sub->ops = translateWrite(mstate, mod, mword, data.data());
+            mstate.pendingWrites[mword].push_back(sub->seq);
+            ++mstate.queuedDemandWrites;
+            mstate.doNotZeroFill.insert(mword);
+            // A queued-but-unstarted zero-fill of the same word is now
+            // pointless (and would be a hazard); cancel it.
+            cancelUnstartedZeroFill(mstate, mword);
+        } else {
+            sub->ops = translateRead(mod, mword);
+            if (req.readInto != nullptr) {
+                sub->readInto = static_cast<std::uint8_t *>(
+                                    req.readInto) +
+                                std::uint64_t(i) * geom_.rowBufferBytes;
+            }
+            // The kernel observes this word's current contents; a
+            // later hint-driven zero-fill would destroy live data.
+            mstate.doNotZeroFill.insert(mword);
+            cancelUnstartedZeroFill(mstate, mword);
+            // Streaming predictor: warm the next sequential rows
+            // once the module goes idle (bounded run-ahead).
+            mstate.nextPrefetchWord = mword + 1;
+            mstate.prefetchLimit =
+                mword + std::max<std::uint32_t>(
+                            2, geom_.numRowBuffers - 1);
+            mstate.prefetchSeeded = true;
+        }
+        mstate.demand.push_back(std::move(sub));
+    }
+
+    eventQueue().reschedule(&schedulerEvent_, curTick());
+    return id;
+}
+
+void
+ChannelController::hintFutureWrite(std::uint64_t addr,
+                                   std::uint64_t size)
+{
+    if (!config_.selectiveErasing || size == 0)
+        return;
+    std::uint64_t first = addr / geom_.rowBufferBytes;
+    std::uint64_t last = (addr + size - 1) / geom_.rowBufferBytes;
+    // Split the channel-word range into per-module module-word ranges.
+    for (std::uint32_t m = 0; m < modules_.size(); ++m) {
+        // Module m holds words w with w % M == m; the covered
+        // module-word range is contiguous.
+        std::uint64_t lo = first / modules_.size() +
+                           (first % modules_.size() > m ? 1 : 0);
+        std::uint64_t hi = last / modules_.size() +
+                           (last % modules_.size() >= m ? 1 : 0);
+        if (hi > lo)
+            moduleStates_[m].hints.emplace_back(lo, hi);
+    }
+    eventQueue().reschedule(&schedulerEvent_, curTick());
+}
+
+bool
+ChannelController::idle() const
+{
+    return requests_.empty();
+}
+
+void
+ChannelController::functionalWrite(std::uint64_t addr, const void *src,
+                                   std::uint64_t len)
+{
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        std::uint64_t word = addr / geom_.rowBufferBytes;
+        std::uint32_t off = std::uint32_t(addr % geom_.rowBufferBytes);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, geom_.rowBufferBytes - off);
+        modules_[moduleOfWord(word)]->functionalWrite(
+            moduleWordOf(word) * geom_.rowBufferBytes + off, s, chunk);
+        s += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+ChannelController::functionalRead(std::uint64_t addr, void *dst,
+                                  std::uint64_t len) const
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        std::uint64_t word = addr / geom_.rowBufferBytes;
+        std::uint32_t off = std::uint32_t(addr % geom_.rowBufferBytes);
+        std::uint64_t chunk =
+            std::min<std::uint64_t>(len, geom_.rowBufferBytes - off);
+        modules_[moduleOfWord(word)]->functionalRead(
+            moduleWordOf(word) * geom_.rowBufferBytes + off, d, chunk);
+        d += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+ChannelController::MicroOp
+ChannelController::owWriteOp(const pram::PramModule &mod,
+                             std::uint32_t ow_offset, const void *data,
+                             std::uint32_t len) const
+{
+    std::uint64_t addr = mod.overlayWindow().base() + ow_offset;
+    pram::DecomposedAddress d = mod.decomposer().decompose(addr);
+    MicroOp op;
+    op.partition = d.partition;
+    op.row = d.row;
+    op.upperRow = d.upperRow;
+    op.lowerRow = d.lowerRow;
+    op.column = d.column;
+    op.len = len;
+    op.isWrite = true;
+    op.overlayRow = true;
+    std::memcpy(op.data.data(), data, len);
+    return op;
+}
+
+std::vector<ChannelController::MicroOp>
+ChannelController::translateRead(const pram::PramModule &mod,
+                                 std::uint64_t module_word) const
+{
+    pram::DecomposedAddress d = mod.decomposer().decompose(
+        module_word * geom_.rowBufferBytes);
+    MicroOp op;
+    op.partition = d.partition;
+    op.row = d.row;
+    op.upperRow = d.upperRow;
+    op.lowerRow = d.lowerRow;
+    op.column = 0;
+    op.len = geom_.rowBufferBytes;
+    op.isWrite = false;
+    op.overlayRow = false;
+    return {op};
+}
+
+std::vector<ChannelController::MicroOp>
+ChannelController::translateWrite(ModuleState &mstate,
+                                  const pram::PramModule &mod,
+                                  std::uint64_t module_word,
+                                  const std::uint8_t *data) const
+{
+    std::vector<MicroOp> ops;
+    // 1. Operation code (skipped when the register already holds it).
+    if (mstate.lastCode != pram::ow::cmdBufferProgram) {
+        std::uint32_t code = pram::ow::cmdBufferProgram;
+        ops.push_back(owWriteOp(mod, pram::ow::codeReg, &code, 4));
+    }
+    // 2. Target row (word) address.
+    std::uint32_t word32 = std::uint32_t(module_word);
+    ops.push_back(owWriteOp(mod, pram::ow::addressReg, &word32, 4));
+    // 3. Burst size via the multi-purpose register.
+    std::uint32_t bytes = geom_.rowBufferBytes;
+    ops.push_back(owWriteOp(mod, pram::ow::multiPurposeReg, &bytes, 4));
+    // 4. Payload into the program buffer.
+    ops.push_back(owWriteOp(mod, pram::ow::programBufferBase, data,
+                            geom_.rowBufferBytes));
+    // 5. Launch via the execute register.
+    std::uint32_t go = 1;
+    MicroOp exec = owWriteOp(mod, pram::ow::executeReg, &go, 4);
+    exec.isExecute = true;
+    ops.push_back(exec);
+    return ops;
+}
+
+bool
+ChannelController::readBlocked(const ModuleState &mstate,
+                               const SubOp &sub) const
+{
+    auto it = mstate.pendingWrites.find(sub.moduleWord);
+    if (it == mstate.pendingWrites.end())
+        return false;
+    for (std::uint64_t wseq : it->second) {
+        if (wseq < sub.seq)
+            return true;
+    }
+    return false;
+}
+
+ChannelController::Feasibility
+ChannelController::evaluate(const ModuleState &mstate,
+                            const pram::PramModule &mod,
+                            const SubOp &sub) const
+{
+    const Tick now = curTick();
+    const MicroOp &op = sub.ops[sub.opIdx];
+    Feasibility f;
+
+    // Writes serialize on the overlay-window register sequence.
+    if (op.isWrite && mstate.owSeqOwner != nullptr &&
+        mstate.owSeqOwner != &sub) {
+        return f; // blocked on another sub-op's progress
+    }
+
+    Phase phase = sub.phase;
+    int ba = sub.ba;
+
+    if (phase == Phase::preActive) {
+        // Look for row-buffer hits enabling phase skips.
+        int hit_ba = -1;
+        Tick inflight_hit_at = maxTick;
+        if (config_.phaseSkipping) {
+            for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b) {
+                if (!mod.rabValid(b) ||
+                    mod.rabUpperRow(b) != op.upperRow ||
+                    mod.rabPartition(b) != op.partition) {
+                    continue;
+                }
+                if (mstate.rabBusyUntil[b] > now) {
+                    // The row is being sensed right now (e.g. by the
+                    // prefetcher); waiting for it can beat redoing
+                    // the full three-phase access.
+                    if (mod.rdbValid(b) && mod.rdbRow(b) == op.row &&
+                        mod.rdbPartition(b) == op.partition) {
+                        inflight_hit_at = std::min(
+                            inflight_hit_at, mstate.rabBusyUntil[b]);
+                    }
+                    continue;
+                }
+                hit_ba = int(b);
+                break;
+            }
+        }
+        if (hit_ba < 0 && inflight_hit_at != maxTick &&
+            inflight_hit_at <
+                now + mod.timing().tRCD + mod.timing().preActiveTime()) {
+            // Cheaper to wait for the in-flight sense to complete.
+            f.earliest = inflight_hit_at;
+            f.ba = -1;
+            f.effectivePhase = Phase::preActive;
+            return f;
+        }
+        if (hit_ba >= 0) {
+            ba = hit_ba;
+            if (mod.rdbValid(std::uint32_t(hit_ba)) &&
+                mod.rdbRow(std::uint32_t(hit_ba)) == op.row &&
+                mod.rdbPartition(std::uint32_t(hit_ba)) ==
+                    op.partition) {
+                phase = Phase::readWrite;
+            } else {
+                phase = Phase::activate;
+            }
+        } else {
+            // Need a free RAB and the CA bus.
+            Tick rab_free = maxTick;
+            for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b)
+                rab_free = std::min(rab_free, mstate.rabBusyUntil[b]);
+            if (rab_free == maxTick)
+                return f; // all claimed; unblocked by other sub-ops
+            f.earliest = std::max({now, phy_.caFreeAt(), rab_free});
+            f.ba = -1;
+            f.effectivePhase = Phase::preActive;
+            return f;
+        }
+    }
+
+    if (phase == Phase::activate) {
+        Tick t = std::max({now, phy_.caFreeAt(), sub.phaseReadyAt});
+        if (!op.overlayRow)
+            t = std::max(t, mod.partitionBusyUntil(op.partition));
+        f.earliest = t;
+        f.ba = ba;
+        f.effectivePhase = Phase::activate;
+        return f;
+    }
+
+    // Read/write phase.
+    Tick t = std::max({now, phy_.caFreeAt(), sub.phaseReadyAt});
+    Tick preamble = op.isWrite ? mod.timing().writePreamble()
+                               : mod.timing().readPreamble();
+    Tick dq_free = phy_.dqFreeAt();
+    Tick dq_ok = dq_free > preamble ? dq_free - preamble : 0;
+    t = std::max(t, dq_ok);
+    if (op.isExecute) {
+        t = std::max(t, mod.programSlotFreeAt());
+        t = std::max(t, mod.partitionBusyUntil(sub.targetPartition));
+    }
+    f.earliest = t;
+    f.ba = ba;
+    f.effectivePhase = Phase::readWrite;
+    return f;
+}
+
+void
+ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
+                         SubOp &sub, const Feasibility &f)
+{
+    const Tick now = curTick();
+    MicroOp &op = sub.ops[sub.opIdx];
+
+    if (!sub.started) {
+        sub.started = true;
+        ++mstate.inFlight;
+    }
+    if (op.isWrite && mstate.owSeqOwner == nullptr)
+        mstate.owSeqOwner = &sub;
+
+    switch (f.effectivePhase) {
+      case Phase::preActive: {
+        DPRINTF("Ctrl", "mod%u %s word=%llu pre-active", sub.module,
+                sub.isZeroFill ? "zf" : sub.isPrefetch ? "pf" : "op",
+                (unsigned long long)sub.moduleWord);
+        // Pick the least recently used free RAB.
+        int ba = -1;
+        Tick oldest = maxTick;
+        for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b) {
+            if (mstate.rabBusyUntil[b] > now)
+                continue;
+            if (mstate.rabLastUse[b] < oldest) {
+                oldest = mstate.rabLastUse[b];
+                ba = int(b);
+            }
+        }
+        panic_if(ba < 0, "issue without a free RAB");
+        mstate.rabBusyUntil[std::uint32_t(ba)] = maxTick; // claimed
+        mstate.rabLastUse[std::uint32_t(ba)] = now;
+        phy_.sendCommand(now);
+        sub.phaseReadyAt =
+            mod.preActive(std::uint32_t(ba), op.upperRow, op.partition);
+        sub.ba = ba;
+        sub.phase = Phase::activate;
+        return;
+      }
+      case Phase::activate: {
+        if (sub.phase == Phase::preActive) {
+            // Skipped the pre-active thanks to a RAB hit.
+            ++stats_.preActivesSkipped;
+            sub.ba = f.ba;
+            mstate.rabBusyUntil[std::uint32_t(f.ba)] = maxTick;
+            mstate.rabLastUse[std::uint32_t(f.ba)] = now;
+        }
+        phy_.sendCommand(now);
+        sub.phaseReadyAt =
+            mod.activate(std::uint32_t(sub.ba), op.lowerRow);
+        sub.phase = Phase::readWrite;
+        if (sub.isPrefetch) {
+            // The speculation ends here: the sensed RDB stays warm
+            // for the next demand read's phase skip.
+            ++stats_.prefetchActivates;
+            mstate.rabBusyUntil[std::uint32_t(sub.ba)] =
+                sub.phaseReadyAt;
+            --mstate.inFlight;
+            ++mstate.nextPrefetchWord;
+            mstate.prefetch.reset();
+            return; // sub is dangling now
+        }
+        return;
+      }
+      case Phase::readWrite:
+        break;
+    }
+
+    // Read/write phase issue.
+    if (sub.isPrefetch) {
+        // The target row became resident through demand traffic while
+        // the speculation waited; the warm-up is already done.
+        ++mstate.nextPrefetchWord;
+        if (sub.started)
+            --mstate.inFlight;
+        mstate.prefetch.reset();
+        return; // sub is dangling now
+    }
+    if (sub.phase == Phase::preActive) {
+        // Skipped both phases thanks to a full RDB hit.
+        ++stats_.preActivesSkipped;
+        ++stats_.activatesSkipped;
+        sub.ba = f.ba;
+        mstate.rabBusyUntil[std::uint32_t(f.ba)] = maxTick;
+        mstate.rabLastUse[std::uint32_t(f.ba)] = now;
+        sub.phaseReadyAt =
+            std::max(now, mod.rdbReadyAt(std::uint32_t(f.ba)));
+        panic_if(sub.phaseReadyAt > now, "RDB hit on unready RDB");
+    }
+
+    phy_.sendCommand(now);
+    pram::BurstTiming bt;
+    if (op.isWrite) {
+        bt = mod.writeBurst(std::uint32_t(sub.ba), op.column, op.len,
+                            op.data.data());
+    } else {
+        bt = mod.readBurst(std::uint32_t(sub.ba), op.column, op.len,
+                           sub.readInto);
+    }
+    phy_.reserveDq(bt.firstData, bt.lastData);
+    mstate.rabBusyUntil[std::uint32_t(sub.ba)] = bt.lastData;
+    mstate.rabLastUse[std::uint32_t(sub.ba)] = now;
+
+    bool was_execute = op.isExecute;
+    ++sub.opIdx;
+    sub.ba = -1;
+    sub.phase = Phase::preActive;
+    sub.phaseReadyAt = now;
+
+    if (sub.opIdx < sub.ops.size())
+        return; // sequence continues
+
+    // Sub-op fully issued: release resources and record completion.
+    --mstate.inFlight;
+    if (sub.isWrite) {
+        panic_if(!was_execute, "write sequence ended without execute");
+        mstate.owSeqOwner = nullptr;
+        mstate.lastCode = pram::ow::cmdBufferProgram;
+        Tick durable = mod.lastProgramEnd();
+        if (sub.isZeroFill) {
+            DPRINTF("Ctrl", "mod%u zero-fill word=%llu durable@%llu",
+                    sub.module,
+                    (unsigned long long)sub.moduleWord,
+                    (unsigned long long)durable);
+            ++stats_.zeroFillPrograms;
+            auto &zq = mstate.zeroFills;
+            for (auto it = zq.begin(); it != zq.end(); ++it) {
+                if (it->get() == &sub) {
+                    zq.erase(it);
+                    break;
+                }
+            }
+            return; // no request to complete; sub is now dangling
+        }
+        panic_if(mstate.queuedDemandWrites == 0,
+                 "demand write counter underflow");
+        --mstate.queuedDemandWrites;
+        auto &seqs = mstate.pendingWrites[sub.moduleWord];
+        seqs.erase(std::remove(seqs.begin(), seqs.end(), sub.seq),
+                   seqs.end());
+        if (seqs.empty())
+            mstate.pendingWrites.erase(sub.moduleWord);
+        finishSubOp(sub, durable);
+    } else {
+        finishSubOp(sub, bt.lastData);
+    }
+
+    // Remove the finished demand sub-op from its queue.
+    auto &dq = mstate.demand;
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+        if (it->get() == &sub) {
+            dq.erase(it);
+            break;
+        }
+    }
+}
+
+void
+ChannelController::finishSubOp(const SubOp &sub, Tick when)
+{
+    auto it = requests_.find(sub.reqId);
+    panic_if(it == requests_.end(), "sub-op of unknown request");
+    RequestState &rstate = it->second;
+    panic_if(rstate.remainingSubOps == 0, "request over-completed");
+    rstate.latestCompletion = std::max(rstate.latestCompletion, when);
+    if (--rstate.remainingSubOps == 0)
+        pushCompletion(rstate.latestCompletion, sub.reqId);
+}
+
+void
+ChannelController::pushCompletion(Tick when, std::uint64_t req_id)
+{
+    completions_[when].push_back(req_id);
+    eventQueue().reschedule(&completionEvent_,
+                            completions_.begin()->first);
+}
+
+void
+ChannelController::completionTrigger()
+{
+    const Tick now = curTick();
+    while (!completions_.empty() &&
+           completions_.begin()->first <= now) {
+        auto ids = std::move(completions_.begin()->second);
+        completions_.erase(completions_.begin());
+        for (std::uint64_t id : ids) {
+            auto it = requests_.find(id);
+            panic_if(it == requests_.end(), "completing unknown req");
+            RequestState rstate = it->second;
+            requests_.erase(it);
+            double lat_ns = toNs(now - rstate.enqueuedAt);
+            if (rstate.isWrite)
+                stats_.writeLatencyNs.sample(lat_ns);
+            else
+                stats_.readLatencyNs.sample(lat_ns);
+            if (callback_)
+                callback_(MemResponse{id, now});
+        }
+    }
+    if (!completions_.empty()) {
+        eventQueue().reschedule(&completionEvent_,
+                                completions_.begin()->first);
+    }
+}
+
+void
+ChannelController::cancelUnstartedZeroFill(ModuleState &mstate,
+                                           std::uint64_t mword)
+{
+    auto &zq = mstate.zeroFills;
+    for (auto it = zq.begin(); it != zq.end(); ++it) {
+        if (!(*it)->started && (*it)->moduleWord == mword) {
+            zq.erase(it);
+            ++stats_.zeroFillSkipped;
+            return;
+        }
+    }
+}
+
+void
+ChannelController::materializePrefetch(std::uint32_t m)
+{
+    ModuleState &mstate = moduleStates_[m];
+    if (mstate.prefetch || !mstate.prefetchSeeded)
+        return;
+    std::uint64_t w = mstate.nextPrefetchWord;
+    if (w >= usableWordsPerModule_ || w > mstate.prefetchLimit)
+        return;
+    pram::PramModule &mod = *modules_[m];
+    // Skip words whose row is already resident or hazardous.
+    if (mstate.pendingWrites.count(w))
+        return;
+    pram::DecomposedAddress d =
+        mod.decomposer().decompose(w * geom_.rowBufferBytes);
+    for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b) {
+        if (mod.rdbValid(b) && mod.rdbRow(b) == d.row &&
+            mod.rdbPartition(b) == d.partition) {
+            return; // already warm
+        }
+    }
+    auto sub = std::make_unique<SubOp>();
+    sub->seq = nextSeq_++;
+    sub->module = m;
+    sub->isPrefetch = true;
+    sub->moduleWord = w;
+    sub->targetPartition = d.partition;
+    sub->ops = translateRead(mod, w);
+    mstate.prefetch = std::move(sub);
+}
+
+void
+ChannelController::materializeZeroFill(std::uint32_t m)
+{
+    ModuleState &mstate = moduleStates_[m];
+    pram::PramModule &mod = *modules_[m];
+    while (!mstate.hints.empty() &&
+           mstate.zeroFills.size() < geom_.programSlots) {
+        auto &range = mstate.hints.front();
+        if (range.first >= range.second) {
+            mstate.hints.pop_front();
+            continue;
+        }
+        std::uint64_t w = range.first++;
+        if (mstate.doNotZeroFill.count(w) || mod.wordIsPristine(w)) {
+            ++stats_.zeroFillSkipped;
+            continue;
+        }
+        auto sub = std::make_unique<SubOp>();
+        sub->seq = nextSeq_++;
+        sub->reqId = 0;
+        sub->module = m;
+        sub->isWrite = true;
+        sub->isZeroFill = true;
+        sub->moduleWord = w;
+        sub->targetPartition =
+            mod.decomposer()
+                .decompose(w * geom_.rowBufferBytes)
+                .partition;
+        std::array<std::uint8_t, 32> zeros{};
+        sub->ops = translateWrite(mstate, mod, w, zeros.data());
+        mstate.zeroFills.push_back(std::move(sub));
+    }
+}
+
+void
+ChannelController::schedule()
+{
+    if (inSchedule_)
+        return;
+    inSchedule_ = true;
+    const Tick now = curTick();
+
+    bool progress = true;
+    Tick next_wake = maxTick;
+    while (progress) {
+        progress = false;
+        next_wake = maxTick;
+
+        // The noop (Bare-metal) scheduler services the request queue
+        // strictly in order: only the globally oldest incomplete
+        // demand sub-op on the channel may issue.
+        std::uint64_t fifo_head = ~std::uint64_t(0);
+        if (!config_.interleaving) {
+            for (const ModuleState &ms : moduleStates_) {
+                if (!ms.demand.empty()) {
+                    fifo_head = std::min(fifo_head,
+                                         ms.demand.front()->seq);
+                }
+            }
+        }
+
+        for (std::uint32_t m = 0;
+             m < modules_.size() && !progress; ++m) {
+            ModuleState &mstate = moduleStates_[m];
+            pram::PramModule &mod = *modules_[m];
+
+            std::uint32_t scanned = 0;
+            for (auto &subptr : mstate.demand) {
+                SubOp &sub = *subptr;
+                if (!config_.interleaving && sub.seq != fifo_head)
+                    break; // strict FIFO across the channel
+                if (++scanned > schedLookahead)
+                    break;
+                if (!sub.started &&
+                    mstate.inFlight >= geom_.numRowBuffers) {
+                    continue; // row buffers exhausted
+                }
+                if (!sub.isWrite && readBlocked(mstate, sub))
+                    continue;
+                Feasibility f = evaluate(mstate, mod, sub);
+                if (f.earliest == maxTick)
+                    continue;
+                if (f.earliest <= now) {
+                    issue(mstate, mod, sub, f);
+                    progress = true;
+                    break;
+                }
+                next_wake = std::min(next_wake, f.earliest);
+            }
+            if (progress)
+                break;
+
+            // Selective erasing: zero-fills yield to queued demand
+            // writes (which they would race for the program slots)
+            // but run alongside read traffic — the paper erases
+            // "before completing the corresponding computation". An
+            // already started sequence must run to completion: it
+            // owns the overlay-window registers demand writes need.
+            // Speculative RDB warming runs only on an idle module
+            // and stops after the activate phase.
+            if (config_.rdbPrefetch && mstate.demand.empty()) {
+                materializePrefetch(m);
+                if (mstate.prefetch) {
+                    SubOp &pf = *mstate.prefetch;
+                    Feasibility f = evaluate(mstate, mod, pf);
+                    if (f.earliest != maxTick) {
+                        if (f.earliest <= now) {
+                            issue(mstate, mod, pf, f);
+                            progress = true;
+                            break;
+                        }
+                        next_wake = std::min(next_wake, f.earliest);
+                    }
+                }
+            }
+
+            if (config_.selectiveErasing) {
+                if (mstate.queuedDemandWrites == 0)
+                    materializeZeroFill(m);
+                for (auto &zfptr : mstate.zeroFills) {
+                    SubOp &zf = *zfptr;
+                    if (!zf.started &&
+                        mstate.queuedDemandWrites != 0)
+                        continue;
+                    Feasibility f = evaluate(mstate, mod, zf);
+                    if (f.earliest == maxTick)
+                        continue;
+                    if (f.earliest <= now) {
+                        issue(mstate, mod, zf, f);
+                        progress = true;
+                        break;
+                    }
+                    next_wake = std::min(next_wake, f.earliest);
+                }
+                if (progress)
+                    break;
+            }
+        }
+    }
+
+    if (next_wake != maxTick) {
+        panic_if(next_wake <= now, "scheduler wake in the past");
+        eventQueue().reschedule(&schedulerEvent_, next_wake);
+    }
+    inSchedule_ = false;
+}
+
+} // namespace ctrl
+} // namespace dramless

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * FPGA-based PRAM channel controller (Sections III-B, V).
+ *
+ * One controller drives one LPDDR2-NVM channel of up to 16 PRAM
+ * modules sharing a CA bus and a 16-bit DQ bus (Figure 14). It
+ * contains the paper's translator (expanding memory requests into
+ * overlay-window register sequences), the command generator (three-
+ * phase addressing with phase skipping on RAB/RDB hits), and the two
+ * proposed schedulers: multi-resource aware interleaving and
+ * selective erasing.
+ *
+ * Address map: 32-byte words are interleaved across the channel's
+ * modules (word w lives in module w mod M), matching the server's
+ * "512 bytes per channel, 32 bytes per bank" request shape.
+ */
+
+#ifndef DRAMLESS_CTRL_CHANNEL_CONTROLLER_HH
+#define DRAMLESS_CTRL_CHANNEL_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ctrl/phy.hh"
+#include "ctrl/request.hh"
+#include "ctrl/scheduler.hh"
+#include "pram/pram_module.hh"
+#include "sim/clocked.hh"
+#include "sim/stats.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/** Aggregate controller statistics. */
+struct ControllerStats
+{
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+    std::uint64_t readWords = 0;
+    std::uint64_t writeWords = 0;
+    std::uint64_t preActivesSkipped = 0;
+    std::uint64_t activatesSkipped = 0;
+    std::uint64_t zeroFillPrograms = 0;
+    std::uint64_t zeroFillSkipped = 0;
+    /** Speculative row activations issued by the RDB prefetcher. */
+    std::uint64_t prefetchActivates = 0;
+    stats::Average readLatencyNs{"readLatencyNs",
+                                 "request read latency"};
+    stats::Average writeLatencyNs{"writeLatencyNs",
+                                  "request write latency (to durable)"};
+};
+
+/**
+ * Hardware-automated controller for one PRAM channel.
+ *
+ * Requests complete asynchronously: reads when the last data beat
+ * leaves the DQ pins, writes when the cell program finishes. The
+ * completion callback runs from a scheduled event at the completion
+ * tick.
+ */
+class ChannelController : public Clocked
+{
+  public:
+    /**
+     * @param eq event queue
+     * @param num_modules PRAM modules on this channel (Table II: 16)
+     * @param geom module geometry
+     * @param timing module timing
+     * @param config scheduler policy preset
+     * @param name diagnostic name
+     * @param functional keep functional backing stores
+     */
+    ChannelController(EventQueue &eq, std::uint32_t num_modules,
+                      const pram::PramGeometry &geom,
+                      const pram::PramTiming &timing,
+                      const SchedulerConfig &config, std::string name,
+                      bool functional = true);
+
+    /** Register the completion callback. */
+    void setCallback(CompletionCallback cb) { callback_ = std::move(cb); }
+
+    /** @return usable capacity in bytes (overlay windows excluded). */
+    std::uint64_t capacity() const;
+
+    /** @return true when the request would currently be admitted. */
+    bool canAccept(const MemRequest &req) const;
+
+    /**
+     * Admit a request. @p req.addr and @p req.size must be multiples
+     * of the 32-byte access unit and within capacity.
+     * @return the request id reported back on completion.
+     */
+    std::uint64_t enqueue(const MemRequest &req);
+
+    /**
+     * Selective-erasing hint: the byte range [addr, addr+size) will be
+     * overwritten soon. The controller pre-RESETs (all-zero programs)
+     * the covered words when the affected modules are otherwise idle.
+     */
+    void hintFutureWrite(std::uint64_t addr, std::uint64_t size);
+
+    /** @return true when no demand work is queued or in flight. */
+    bool idle() const;
+
+    /** @return number of incomplete demand requests. */
+    std::size_t pendingRequests() const { return requests_.size(); }
+
+    /** Functional (untimed) write across the channel address space. */
+    void functionalWrite(std::uint64_t addr, const void *src,
+                         std::uint64_t len);
+    /** Functional (untimed) read across the channel address space. */
+    void functionalRead(std::uint64_t addr, void *dst,
+                        std::uint64_t len) const;
+
+    /** @return module @p i (for inspection in tests/benches). */
+    pram::PramModule &module(std::uint32_t i) { return *modules_.at(i); }
+    const pram::PramModule &module(std::uint32_t i) const
+    {
+        return *modules_.at(i);
+    }
+    /** @return number of modules on the channel. */
+    std::uint32_t numModules() const
+    {
+        return std::uint32_t(modules_.size());
+    }
+
+    /** @return the channel PHY (bus occupancy/energy counters). */
+    const PramPhy &phy() const { return phy_; }
+
+    /** @return controller statistics. */
+    const ControllerStats &ctrlStats() const { return stats_; }
+
+    /** @return the active scheduler configuration. */
+    const SchedulerConfig &config() const { return config_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    /** Micro-operation: one three-phase access to one module row. */
+    struct MicroOp
+    {
+        std::uint32_t partition = 0;
+        std::uint64_t row = 0;
+        std::uint64_t upperRow = 0;
+        std::uint64_t lowerRow = 0;
+        std::uint32_t column = 0;
+        std::uint32_t len = 0;
+        bool isWrite = false;
+        /** Row resolves inside the overlay window. */
+        bool overlayRow = false;
+        /** Write of the execute register: launches the program. */
+        bool isExecute = false;
+        std::array<std::uint8_t, 32> data{};
+    };
+
+    /** Addressing phase of the in-progress micro-op. */
+    enum class Phase
+    {
+        preActive,
+        activate,
+        readWrite,
+    };
+
+    /** One 32-byte word access expanded by the translator. */
+    struct SubOp
+    {
+        std::uint64_t seq = 0;
+        std::uint64_t reqId = 0;
+        std::uint32_t module = 0;
+        bool isWrite = false;
+        bool isZeroFill = false;
+        /** Word index local to the module. */
+        std::uint64_t moduleWord = 0;
+        /** Speculative RDB-warm sub-op (stops after activate). */
+        bool isPrefetch = false;
+        /** Partition the demand word lives in (program target). */
+        std::uint32_t targetPartition = 0;
+        std::vector<MicroOp> ops;
+        std::uint32_t opIdx = 0;
+        Phase phase = Phase::preActive;
+        int ba = -1;
+        /** Earliest tick the current phase may issue. */
+        Tick phaseReadyAt = 0;
+        bool started = false;
+        /** Destination for functional read data. */
+        void *readInto = nullptr;
+    };
+
+    /** Demand request bookkeeping. */
+    struct RequestState
+    {
+        std::uint32_t remainingSubOps = 0;
+        bool isWrite = false;
+        Tick enqueuedAt = 0;
+        Tick latestCompletion = 0;
+    };
+
+    /** Per-module scheduler state (move-only: owns sub-ops). */
+    struct ModuleState
+    {
+        ModuleState() = default;
+        ModuleState(ModuleState &&) = default;
+        ModuleState &operator=(ModuleState &&) = default;
+        ModuleState(const ModuleState &) = delete;
+        ModuleState &operator=(const ModuleState &) = delete;
+
+        std::deque<std::unique_ptr<SubOp>> demand;
+        /** Materialized zero-fill sub-ops (bounded by the module's
+         *  program slots). */
+        std::deque<std::unique_ptr<SubOp>> zeroFills;
+        /** Hinted future-write word ranges, oldest first. */
+        std::deque<std::pair<std::uint64_t, std::uint64_t>> hints;
+        /** Words touched by demand traffic since hinting; zero-filling
+         *  them could destroy live data, so they are never erased. */
+        std::unordered_set<std::uint64_t> doNotZeroFill;
+        /** word -> seqs of queued demand writes (read hazard). */
+        std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+            pendingWrites;
+        /** Sub-op owning the overlay-window register sequence. */
+        const SubOp *owSeqOwner = nullptr;
+        /** Demand write sub-ops currently queued (zero-fills yield
+         *  to them but may run alongside reads). */
+        std::uint32_t queuedDemandWrites = 0;
+        /** Last value written to the OW code register (skip rewrites). */
+        std::uint32_t lastCode = 0;
+        /** RAB claims: tick each RAB is released by its user. */
+        std::vector<Tick> rabBusyUntil;
+        std::vector<Tick> rabLastUse;
+        /** Started-but-unfinished sub-ops (row-buffer bound). */
+        std::uint32_t inFlight = 0;
+        /** Next sequential module word a prefetch would warm. */
+        std::uint64_t nextPrefetchWord = 0;
+        /** Highest word the prefetcher may run ahead to (a few
+         *  rows past the last demand read; RDB capacity bounds the
+         *  useful depth anyway). */
+        std::uint64_t prefetchLimit = 0;
+        /** Whether a demand read has seeded the prefetcher. */
+        bool prefetchSeeded = false;
+        /** In-flight speculative sub-op (at most one). */
+        std::unique_ptr<SubOp> prefetch;
+    };
+
+    /** Outcome of a single scheduling attempt. */
+    struct Feasibility
+    {
+        /** Earliest tick the next action could issue (maxTick when
+         *  blocked on another sub-op's progress). */
+        Tick earliest = maxTick;
+        /** RAB to use (for phase decisions). */
+        int ba = -1;
+        /** Phases to skip before acting. */
+        Phase effectivePhase = Phase::preActive;
+    };
+
+    /** Split (channel word) -> (module, module word). */
+    std::uint32_t moduleOfWord(std::uint64_t word) const
+    {
+        return std::uint32_t(word % modules_.size());
+    }
+    std::uint64_t moduleWordOf(std::uint64_t word) const
+    {
+        return word / modules_.size();
+    }
+
+    /** Translator: expand a read word access. */
+    std::vector<MicroOp> translateRead(const pram::PramModule &mod,
+                                       std::uint64_t module_word) const;
+    /** Translator: expand an overlay-window program sequence. */
+    std::vector<MicroOp> translateWrite(ModuleState &mstate,
+                                        const pram::PramModule &mod,
+                                        std::uint64_t module_word,
+                                        const std::uint8_t *data) const;
+
+    /** Build one micro-op targeting overlay offset @p ow_offset. */
+    MicroOp owWriteOp(const pram::PramModule &mod,
+                      std::uint32_t ow_offset, const void *data,
+                      std::uint32_t len) const;
+
+    /** Evaluate when @p sub's next action could issue. */
+    Feasibility evaluate(const ModuleState &mstate,
+                         const pram::PramModule &mod,
+                         const SubOp &sub) const;
+
+    /** Issue @p sub's next action now. */
+    void issue(ModuleState &mstate, pram::PramModule &mod, SubOp &sub,
+               const Feasibility &f);
+
+    /** Run the scheduler until no action can issue at curTick. */
+    void schedule();
+
+    /** Materialize zero-fill sub-ops for module @p m up to the
+     *  program-slot bound. */
+    void materializeZeroFill(std::uint32_t m);
+
+    /** Drop a not-yet-started zero-fill of @p mword, if queued. */
+    void cancelUnstartedZeroFill(ModuleState &mstate,
+                                 std::uint64_t mword);
+
+    /** Materialize a speculative RDB-warming sub-op for module
+     *  @p m when the prefetcher is enabled and idle. */
+    void materializePrefetch(std::uint32_t m);
+
+    /** Record that sub-op @p sub finishes at @p when. */
+    void finishSubOp(const SubOp &sub, Tick when);
+
+    /** Completion event machinery. */
+    void completionTrigger();
+    void pushCompletion(Tick when, std::uint64_t req_id);
+
+    /** @return true when a read of @p word must wait for an older
+     *  queued write. */
+    bool readBlocked(const ModuleState &mstate, const SubOp &sub) const;
+
+    SchedulerConfig config_;
+    std::string name_;
+    pram::PramGeometry geom_;
+    PramPhy phy_;
+    std::vector<std::unique_ptr<pram::PramModule>> modules_;
+    std::vector<ModuleState> moduleStates_;
+    std::unordered_map<std::uint64_t, RequestState> requests_;
+    std::map<Tick, std::vector<std::uint64_t>> completions_;
+    CompletionCallback callback_;
+    std::uint64_t nextReqId_ = 1;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t usableWordsPerModule_ = 0;
+    ControllerStats stats_;
+    EventFunctionWrapper schedulerEvent_;
+    EventFunctionWrapper completionEvent_;
+    bool inSchedule_ = false;
+};
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_CHANNEL_CONTROLLER_HH

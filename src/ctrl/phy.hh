@@ -1,0 +1,93 @@
+/**
+ * @file
+ * 400 MHz PRAM physical layer (Section III-B, Figure 9a).
+ *
+ * Models the shared per-channel command/address (CA) bus carrying
+ * 20-bit DDR signal packets and the shared 16-bit DQ bus. Since the
+ * Xilinx memory interface generator does not support PRAM, the paper
+ * implements this layer from scratch on the 28 nm FPGA; here it is a
+ * resource-occupancy model.
+ */
+
+#ifndef DRAMLESS_CTRL_PHY_HH
+#define DRAMLESS_CTRL_PHY_HH
+
+#include <cstdint>
+
+#include "sim/clocked.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/** Per-channel CA/DQ bus occupancy model. */
+class PramPhy : public Clocked
+{
+  public:
+    /**
+     * @param eq event queue
+     * @param period_ticks interface clock period (2.5 ns at 400 MHz)
+     */
+    PramPhy(EventQueue &eq, Tick period_ticks)
+        : Clocked(eq, period_ticks)
+    {}
+
+    /** @return tick from which the CA bus is free. */
+    Tick caFreeAt() const { return caFreeAt_; }
+    /** @return tick from which the DQ bus is free. */
+    Tick dqFreeAt() const { return dqFreeAt_; }
+
+    /** @return true when a command packet can be launched at @p t. */
+    bool caAvailable(Tick t) const { return caFreeAt_ <= t; }
+
+    /**
+     * Occupy the CA bus for one command packet starting at @p t.
+     * @return tick the packet completes.
+     */
+    Tick
+    sendCommand(Tick t)
+    {
+        caFreeAt_ = t + clockPeriod();
+        ++numCommands_;
+        return caFreeAt_;
+    }
+
+    /** @return true when the DQ bus is free for [@p from, @p to). */
+    bool
+    dqAvailable(Tick from) const
+    {
+        return dqFreeAt_ <= from;
+    }
+
+    /** Occupy the DQ bus for a burst spanning [@p from, @p to). */
+    void
+    reserveDq(Tick from, Tick to)
+    {
+        panic_if(dqFreeAt_ > from, "DQ bus double-booked");
+        panic_if(to < from, "negative DQ reservation");
+        dqFreeAt_ = to;
+        dqBusyTicks_ += to - from;
+        ++numBursts_;
+    }
+
+    /** Total command packets sent (for energy accounting). */
+    std::uint64_t numCommands() const { return numCommands_; }
+    /** Total data bursts transferred. */
+    std::uint64_t numBursts() const { return numBursts_; }
+    /** Aggregate ticks the DQ bus was driven. */
+    Tick dqBusyTicks() const { return dqBusyTicks_; }
+
+  private:
+    Tick caFreeAt_ = 0;
+    Tick dqFreeAt_ = 0;
+    Tick dqBusyTicks_ = 0;
+    std::uint64_t numCommands_ = 0;
+    std::uint64_t numBursts_ = 0;
+};
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_PHY_HH

@@ -1,0 +1,289 @@
+#include "ctrl/pram_subsystem.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace dramless
+{
+namespace ctrl
+{
+
+PramSubsystem::PramSubsystem(EventQueue &eq,
+                             const SubsystemConfig &config,
+                             std::string name)
+    : name_(std::move(name)), config_(config), eventq_(eq)
+{
+    fatal_if(config.channels == 0, "subsystem needs channels");
+    fatal_if(config.stripeBytes == 0 ||
+                 config.stripeBytes % config.geometry.rowBufferBytes !=
+                     0,
+             "stripe must be a multiple of the %u-byte access unit",
+             config.geometry.rowBufferBytes);
+    channels_.reserve(config.channels);
+    pieceToOuter_.resize(config.channels);
+    for (std::uint32_t c = 0; c < config.channels; ++c) {
+        channels_.push_back(std::make_unique<ChannelController>(
+            eq, config.modulesPerChannel, config.geometry,
+            config.timing, config.scheduler,
+            name_ + csprintf(".ch%u", c), config.functional));
+        channels_[c]->setCallback(
+            [this, c](const MemResponse &resp) {
+                onChannelComplete(c, resp);
+            });
+    }
+    if (config.wearLeveling) {
+        std::uint64_t physical_stripes =
+            channels_.front()->capacity() * config.channels /
+            config.stripeBytes;
+        fatal_if(physical_stripes < 2,
+                 "capacity too small for wear leveling");
+        wearLevel_.emplace(physical_stripes - 1,
+                           config.gapMovePeriod);
+    }
+}
+
+Tick
+PramSubsystem::initialize()
+{
+    initialized_ = true;
+    return eventq_.curTick() + config_.bootLatency;
+}
+
+void
+PramSubsystem::setCallback(CompletionCallback cb)
+{
+    callback_ = std::move(cb);
+}
+
+std::uint64_t
+PramSubsystem::capacity() const
+{
+    std::uint64_t raw =
+        channels_.front()->capacity() * channels_.size();
+    if (wearLevel_)
+        return wearLevel_->numLines() * config_.stripeBytes;
+    return raw;
+}
+
+std::pair<std::uint32_t, std::uint64_t>
+PramSubsystem::route(std::uint64_t addr) const
+{
+    std::uint64_t stripe = addr / config_.stripeBytes;
+    std::uint32_t ch = std::uint32_t(stripe % channels_.size());
+    std::uint64_t chan_addr =
+        (stripe / channels_.size()) * config_.stripeBytes +
+        addr % config_.stripeBytes;
+    return {ch, chan_addr};
+}
+
+std::uint64_t
+PramSubsystem::remap(std::uint64_t addr) const
+{
+    if (!wearLevel_)
+        return addr;
+    std::uint64_t line = addr / config_.stripeBytes;
+    std::uint64_t physical = wearLevel_->map(line);
+    return physical * config_.stripeBytes +
+           addr % config_.stripeBytes;
+}
+
+bool
+PramSubsystem::canAccept(const MemRequest &req) const
+{
+    std::uint64_t addr = req.addr;
+    std::uint64_t end = req.addr + req.size;
+    while (addr < end) {
+        std::uint64_t stripe_end =
+            (addr / config_.stripeBytes + 1) * config_.stripeBytes;
+        std::uint64_t piece_end = std::min(end, stripe_end);
+        auto [ch, chan_addr] = route(remap(addr));
+        MemRequest piece = req;
+        piece.addr = chan_addr;
+        piece.size = std::uint32_t(piece_end - addr);
+        if (!channels_[ch]->canAccept(piece))
+            return false;
+        addr = piece_end;
+    }
+    return true;
+}
+
+std::uint64_t
+PramSubsystem::enqueue(const MemRequest &req)
+{
+    fatal_if(req.size == 0, "empty request");
+    fatal_if(req.addr + req.size > capacity(),
+             "%s: request beyond subsystem capacity", name_.c_str());
+    if (!initialized_) {
+        warn("%s: traffic before initialize(); booting implicitly",
+             name_.c_str());
+        initialized_ = true;
+    }
+
+    std::uint64_t id = nextOuterId_++;
+    OuterRequest &outer = outer_[id];
+
+    if (req.kind == ReqKind::write) {
+        ++stats_.writeRequests;
+        stats_.bytesWritten += req.size;
+    } else {
+        ++stats_.readRequests;
+        stats_.bytesRead += req.size;
+    }
+
+    // Split at stripe boundaries; each piece lands on one channel.
+    std::vector<MemRequest> pieces;
+    std::uint64_t addr = req.addr;
+    std::uint64_t end = req.addr + req.size;
+    while (addr < end) {
+        std::uint64_t stripe_end =
+            (addr / config_.stripeBytes + 1) * config_.stripeBytes;
+        std::uint64_t piece_end = std::min(end, stripe_end);
+        MemRequest piece;
+        piece.kind = req.kind;
+        piece.addr = addr;
+        piece.size = std::uint32_t(piece_end - addr);
+        std::uint64_t off = addr - req.addr;
+        if (req.readInto != nullptr)
+            piece.readInto =
+                static_cast<std::uint8_t *>(req.readInto) + off;
+        if (req.writeFrom != nullptr)
+            piece.writeFrom =
+                static_cast<const std::uint8_t *>(req.writeFrom) + off;
+        pieces.push_back(piece);
+        addr = piece_end;
+    }
+    outer.remainingPieces = std::uint32_t(pieces.size());
+    for (auto &piece : pieces)
+        issuePiece(id, piece);
+
+    if (wearLevel_ && req.kind == ReqKind::write) {
+        std::uint64_t first = req.addr / config_.stripeBytes;
+        std::uint64_t last =
+            (req.addr + req.size - 1) / config_.stripeBytes;
+        recordWearLevelWrites(last - first + 1);
+    }
+    return id;
+}
+
+void
+PramSubsystem::issuePiece(std::uint64_t outer_id,
+                          const MemRequest &piece)
+{
+    MemRequest routed = piece;
+    auto [ch, chan_addr] = route(remap(piece.addr));
+    routed.addr = chan_addr;
+    std::uint64_t piece_id = channels_[ch]->enqueue(routed);
+    pieceToOuter_[ch][piece_id] = outer_id;
+}
+
+void
+PramSubsystem::onChannelComplete(std::uint32_t ch,
+                                 const MemResponse &resp)
+{
+    auto &map = pieceToOuter_[ch];
+    auto it = map.find(resp.id);
+    if (it == map.end())
+        return; // internal traffic (wear-leveling copy)
+    std::uint64_t outer_id = it->second;
+    map.erase(it);
+
+    auto oit = outer_.find(outer_id);
+    panic_if(oit == outer_.end(), "piece of unknown outer request");
+    OuterRequest &outer = oit->second;
+    outer.latest = std::max(outer.latest, resp.completedAt);
+    if (--outer.remainingPieces == 0) {
+        MemResponse done{outer_id, outer.latest};
+        outer_.erase(oit);
+        if (callback_)
+            callback_(done);
+    }
+}
+
+void
+PramSubsystem::recordWearLevelWrites(std::uint64_t stripes)
+{
+    for (std::uint64_t i = 0; i < stripes; ++i) {
+        if (!wearLevel_->recordWrite())
+            continue;
+        ++stats_.wearLevelMoves;
+        // Copy the physical stripe behind the gap into the gap:
+        // functional move plus a timed internal write of one stripe.
+        std::uint64_t from =
+            wearLevel_->movedFrom() * config_.stripeBytes;
+        std::uint64_t to = wearLevel_->movedTo() * config_.stripeBytes;
+        if (config_.functional) {
+            std::vector<std::uint8_t> buf(config_.stripeBytes);
+            auto [fch, faddr] = route(from);
+            channels_[fch]->functionalRead(faddr, buf.data(),
+                                           buf.size());
+            auto [tch, taddr] = route(to);
+            channels_[tch]->functionalWrite(taddr, buf.data(),
+                                            buf.size());
+        }
+        auto [tch, taddr] = route(to);
+        MemRequest internal;
+        internal.kind = ReqKind::write;
+        internal.addr = taddr;
+        internal.size = config_.stripeBytes;
+        channels_[tch]->enqueue(internal); // completion ignored
+    }
+}
+
+void
+PramSubsystem::hintFutureWrite(std::uint64_t addr, std::uint64_t size)
+{
+    if (size == 0)
+        return;
+    std::uint64_t end = addr + size;
+    while (addr < end) {
+        std::uint64_t stripe_end =
+            (addr / config_.stripeBytes + 1) * config_.stripeBytes;
+        std::uint64_t piece_end = std::min(end, stripe_end);
+        auto [ch, chan_addr] = route(remap(addr));
+        channels_[ch]->hintFutureWrite(chan_addr, piece_end - addr);
+        addr = piece_end;
+    }
+}
+
+bool
+PramSubsystem::idle() const
+{
+    return outer_.empty();
+}
+
+void
+PramSubsystem::functionalWrite(std::uint64_t addr, const void *src,
+                               std::uint64_t len)
+{
+    const auto *s = static_cast<const std::uint8_t *>(src);
+    std::uint64_t end = addr + len;
+    while (addr < end) {
+        std::uint64_t stripe_end =
+            (addr / config_.stripeBytes + 1) * config_.stripeBytes;
+        std::uint64_t piece_end = std::min(end, stripe_end);
+        auto [ch, chan_addr] = route(remap(addr));
+        channels_[ch]->functionalWrite(chan_addr, s, piece_end - addr);
+        s += piece_end - addr;
+        addr = piece_end;
+    }
+}
+
+void
+PramSubsystem::functionalRead(std::uint64_t addr, void *dst,
+                              std::uint64_t len) const
+{
+    auto *d = static_cast<std::uint8_t *>(dst);
+    std::uint64_t end = addr + len;
+    while (addr < end) {
+        std::uint64_t stripe_end =
+            (addr / config_.stripeBytes + 1) * config_.stripeBytes;
+        std::uint64_t piece_end = std::min(end, stripe_end);
+        auto [ch, chan_addr] = route(remap(addr));
+        channels_[ch]->functionalRead(chan_addr, d, piece_end - addr);
+        d += piece_end - addr;
+        addr = piece_end;
+    }
+}
+
+} // namespace ctrl
+} // namespace dramless

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The complete hardware-automated PRAM subsystem of DRAM-less:
+ * two LPDDR2-NVM channels of 16 modules each behind FPGA channel
+ * controllers (Figure 6a, Table II), with an initializer handling the
+ * boot-up process and optional Start-Gap wear leveling.
+ */
+
+#ifndef DRAMLESS_CTRL_PRAM_SUBSYSTEM_HH
+#define DRAMLESS_CTRL_PRAM_SUBSYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ctrl/channel_controller.hh"
+#include "ctrl/request.hh"
+#include "ctrl/scheduler.hh"
+#include "ctrl/start_gap.hh"
+#include "pram/geometry.hh"
+#include "pram/timing.hh"
+#include "sim/event_queue.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/** Construction parameters of the PRAM subsystem. */
+struct SubsystemConfig
+{
+    /** LPDDR2-NVM channels (Table II: 2). */
+    std::uint32_t channels = 2;
+    /** PRAM modules per channel (Table II: 16 packages). */
+    std::uint32_t modulesPerChannel = 16;
+    /** Bytes striped per channel before switching (Section III-B:
+     *  512 bytes per channel). */
+    std::uint32_t stripeBytes = 512;
+    /** Module geometry. */
+    pram::PramGeometry geometry = pram::PramGeometry::paperDefault();
+    /** Module timing. */
+    pram::PramTiming timing = pram::PramTiming::paperDefault();
+    /** Scheduler policy. */
+    SchedulerConfig scheduler = SchedulerConfig::finalConfig();
+    /** Enable Start-Gap wear leveling over stripe-sized lines. */
+    bool wearLeveling = false;
+    /** Gap move period in writes when wear leveling. */
+    std::uint64_t gapMovePeriod = 100;
+    /** Keep functional backing stores. */
+    bool functional = true;
+    /** Modeled boot-up latency of the initializer (auto init,
+     *  impedance calibration, burst-length and OW setup). */
+    Tick bootLatency = fromUs(150);
+};
+
+/** Aggregated subsystem statistics. */
+struct SubsystemStats
+{
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t wearLevelMoves = 0;
+};
+
+/**
+ * Facade over the per-channel controllers. Splits requests at stripe
+ * boundaries, aggregates completions, applies wear leveling, and
+ * provides the functional backdoor used to stage datasets.
+ */
+class PramSubsystem
+{
+  public:
+    PramSubsystem(EventQueue &eq, const SubsystemConfig &config,
+                  std::string name);
+
+    /**
+     * Run the initializer: boot every module (modeled latency) and
+     * leave the subsystem ready for traffic.
+     * @return tick at which the subsystem is operational.
+     */
+    Tick initialize();
+
+    /** Register the completion callback for demand requests. */
+    void setCallback(CompletionCallback cb);
+
+    /** @return usable capacity in bytes. */
+    std::uint64_t capacity() const;
+
+    /** @return true when every involved channel can queue the
+     *  request. */
+    bool canAccept(const MemRequest &req) const;
+
+    /**
+     * Admit a request (32-byte aligned). @return the request id
+     * reported on completion.
+     */
+    std::uint64_t enqueue(const MemRequest &req);
+
+    /** Selective-erasing hint forwarded to the channels. */
+    void hintFutureWrite(std::uint64_t addr, std::uint64_t size);
+
+    /** @return true when no demand requests are outstanding. */
+    bool idle() const;
+
+    /** Functional (untimed) write used to stage input datasets. */
+    void functionalWrite(std::uint64_t addr, const void *src,
+                         std::uint64_t len);
+    /** Functional (untimed) read used to verify outputs. */
+    void functionalRead(std::uint64_t addr, void *dst,
+                        std::uint64_t len) const;
+
+    /** @return channel @p i. */
+    ChannelController &channel(std::uint32_t i)
+    {
+        return *channels_.at(i);
+    }
+    const ChannelController &channel(std::uint32_t i) const
+    {
+        return *channels_.at(i);
+    }
+    /** @return number of channels. */
+    std::uint32_t numChannels() const
+    {
+        return std::uint32_t(channels_.size());
+    }
+
+    /** @return aggregate statistics. */
+    const SubsystemStats &subsystemStats() const { return stats_; }
+
+    /** @return the wear-leveling mapper, if enabled. */
+    const StartGapMapper *wearLeveler() const
+    {
+        return wearLevel_ ? &*wearLevel_ : nullptr;
+    }
+
+    const std::string &name() const { return name_; }
+    const SubsystemConfig &config() const { return config_; }
+
+  private:
+    /** Map a flat subsystem address to (channel, channel address). */
+    std::pair<std::uint32_t, std::uint64_t>
+    route(std::uint64_t addr) const;
+
+    /** Apply the wear-leveling rotation to a stripe-aligned range. */
+    std::uint64_t remap(std::uint64_t addr) const;
+
+    /** Issue one contiguous (post-split) piece to its channel. */
+    void issuePiece(std::uint64_t outer_id, const MemRequest &piece);
+
+    /** Channel completion handler. */
+    void onChannelComplete(std::uint32_t ch, const MemResponse &resp);
+
+    /** Record writes for wear leveling and perform gap moves. */
+    void recordWearLevelWrites(std::uint64_t stripes);
+
+    struct OuterRequest
+    {
+        std::uint32_t remainingPieces = 0;
+        Tick latest = 0;
+    };
+
+    std::string name_;
+    SubsystemConfig config_;
+    EventQueue &eventq_;
+    std::vector<std::unique_ptr<ChannelController>> channels_;
+    /** Per-channel map from channel request id to outer id. */
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+        pieceToOuter_;
+    std::unordered_map<std::uint64_t, OuterRequest> outer_;
+    std::uint64_t nextOuterId_ = 1;
+    CompletionCallback callback_;
+    std::optional<StartGapMapper> wearLevel_;
+    bool initialized_ = false;
+    SubsystemStats stats_;
+};
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_PRAM_SUBSYSTEM_HH

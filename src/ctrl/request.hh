@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory request/response types exchanged between the accelerator's
+ * MCU and the PRAM subsystem controllers.
+ */
+
+#ifndef DRAMLESS_CTRL_REQUEST_HH
+#define DRAMLESS_CTRL_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/** Direction of a memory request. */
+enum class ReqKind
+{
+    read,
+    write,
+};
+
+/** A memory request as seen by the PRAM subsystem. */
+struct MemRequest
+{
+    ReqKind kind = ReqKind::read;
+    /** Byte address in the subsystem's flat address space. */
+    std::uint64_t addr = 0;
+    /** Size in bytes (multiple of the 32 B access unit). */
+    std::uint32_t size = 0;
+    /** Optional functional read destination / write source. */
+    void *readInto = nullptr;
+    const void *writeFrom = nullptr;
+};
+
+/** Completion notice for a MemRequest. */
+struct MemResponse
+{
+    /** Identifier returned at enqueue time. */
+    std::uint64_t id = 0;
+    /** Tick the last byte of the request completed. */
+    Tick completedAt = 0;
+};
+
+/** Completion callback signature. */
+using CompletionCallback = std::function<void(const MemResponse &)>;
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_REQUEST_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Scheduler policy configurations of the PRAM subsystem (Section V-A,
+ * Figure 13).
+ */
+
+#ifndef DRAMLESS_CTRL_SCHEDULER_HH
+#define DRAMLESS_CTRL_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/**
+ * Knobs of the hardware-automated memory scheduler. The four named
+ * presets correspond to the four bars of Figure 13.
+ */
+struct SchedulerConfig
+{
+    /**
+     * Multi-resource aware interleaving: overlap one request's
+     * partition sense (tRCD) with another request's data burst, using
+     * the multiple row buffers and partitions (Figure 12). When off,
+     * requests are serviced strictly one at a time in FIFO order.
+     */
+    bool interleaving = true;
+
+    /**
+     * Selective erasing: opportunistically pre-RESET (program all-zero
+     * words to) addresses hinted as future write targets so demand
+     * overwrites need only the SET pulse train.
+     */
+    bool selectiveErasing = true;
+
+    /**
+     * Skip pre-active (RAB hit) and activate (RDB hit) phases when the
+     * controller knows the target address already resides in a row
+     * buffer (Section III-B). Part of the base hardware automation.
+     */
+    bool phaseSkipping = true;
+
+    /** Maximum outstanding demand words queued per module. */
+    std::uint32_t maxQueuePerModule = 64;
+
+    /**
+     * Sequential RDB prefetching (Section III-B: the server "tries
+     * to prefetch data by using all RDBs across different banks"):
+     * when a module is otherwise idle, speculatively pre-activate
+     * and sense the next sequential row into a free RDB so the next
+     * streaming demand read skips both addressing phases. Off by
+     * default; see bench/ablation_geometry for its effect.
+     */
+    bool rdbPrefetch = false;
+
+    /** @return Figure 13 "Bare-metal": noop scheduler. */
+    static SchedulerConfig
+    bareMetal()
+    {
+        return SchedulerConfig{false, false, true, 64};
+    }
+
+    /** @return Figure 13 "Interleaving". */
+    static SchedulerConfig
+    interleavingOnly()
+    {
+        return SchedulerConfig{true, false, true, 64};
+    }
+
+    /** @return Figure 13 "selective-erasing". */
+    static SchedulerConfig
+    selectiveErasingOnly()
+    {
+        return SchedulerConfig{false, true, true, 64};
+    }
+
+    /** @return Figure 13 "Final": both techniques (DRAM-less default). */
+    static SchedulerConfig
+    finalConfig()
+    {
+        return SchedulerConfig{true, true, true, 64};
+    }
+
+    /** @return a short label for tables. */
+    std::string
+    label() const
+    {
+        if (interleaving && selectiveErasing)
+            return "Final";
+        if (interleaving)
+            return "Interleaving";
+        if (selectiveErasing)
+            return "selective-erasing";
+        return "Bare-metal";
+    }
+};
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_SCHEDULER_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO'09), the wear
+ * leveller the paper names as integrable into the DRAM-less PRAM
+ * controller (Section VII, "PRAM lifetime").
+ *
+ * N logical lines are spread over N+1 physical lines; one physical
+ * line is a gap. Every @c gapMovePeriod writes the gap moves one
+ * position (copying its neighbour), slowly rotating the whole address
+ * space and spreading write wear uniformly.
+ */
+
+#ifndef DRAMLESS_CTRL_START_GAP_HH
+#define DRAMLESS_CTRL_START_GAP_HH
+
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+
+/** Address rotation state of the Start-Gap scheme. */
+class StartGapMapper
+{
+  public:
+    /**
+     * @param num_lines number of logical lines (N)
+     * @param gap_move_period gap moves once per this many writes
+     */
+    StartGapMapper(std::uint64_t num_lines,
+                   std::uint64_t gap_move_period = 100)
+        : numLines_(num_lines),
+          gapMovePeriod_(gap_move_period),
+          gapPos_(num_lines)
+    {
+        fatal_if(num_lines == 0, "start-gap needs at least one line");
+        fatal_if(gap_move_period == 0,
+                 "start-gap period must be positive");
+    }
+
+    /** @return number of logical lines. */
+    std::uint64_t numLines() const { return numLines_; }
+
+    /** @return number of physical lines (logical + the gap). */
+    std::uint64_t numPhysicalLines() const { return numLines_ + 1; }
+
+    /** Map logical line @p la to its current physical line. */
+    std::uint64_t
+    map(std::uint64_t la) const
+    {
+        panic_if(la >= numLines_, "logical line out of range");
+        std::uint64_t pa = la + start_;
+        if (pa >= numLines_)
+            pa -= numLines_;
+        if (pa >= gapPos_)
+            ++pa;
+        return pa;
+    }
+
+    /**
+     * Record one write. When the period elapses the gap moves.
+     * @return true when a gap move occurred; the caller must then copy
+     * physical line movedFrom() to movedTo().
+     */
+    bool
+    recordWrite()
+    {
+        ++writeCount_;
+        if (writeCount_ % gapMovePeriod_ != 0)
+            return false;
+        moveGap();
+        return true;
+    }
+
+    /** Physical source line of the most recent gap move. */
+    std::uint64_t movedFrom() const { return movedFrom_; }
+    /** Physical destination line of the most recent gap move. */
+    std::uint64_t movedTo() const { return movedTo_; }
+
+    /** @return total writes recorded. */
+    std::uint64_t writeCount() const { return writeCount_; }
+    /** @return total gap movements performed. */
+    std::uint64_t gapMoves() const { return gapMoves_; }
+
+  private:
+    void
+    moveGap()
+    {
+        // The gap absorbs its lower neighbour's content, freeing that
+        // neighbour to become the new gap.
+        movedTo_ = gapPos_;
+        if (gapPos_ == 0) {
+            // Wrap: the gap jumps to the top and Start advances,
+            // rotating the logical->physical mapping by one line.
+            movedFrom_ = numLines_;
+            gapPos_ = numLines_;
+            start_ = start_ + 1 == numLines_ ? 0 : start_ + 1;
+        } else {
+            movedFrom_ = gapPos_ - 1;
+            --gapPos_;
+        }
+        ++gapMoves_;
+    }
+
+    std::uint64_t numLines_;
+    std::uint64_t gapMovePeriod_;
+    std::uint64_t start_ = 0;
+    std::uint64_t gapPos_;
+    std::uint64_t writeCount_ = 0;
+    std::uint64_t gapMoves_ = 0;
+    std::uint64_t movedFrom_ = 0;
+    std::uint64_t movedTo_ = 0;
+};
+
+} // namespace ctrl
+} // namespace dramless
+
+#endif // DRAMLESS_CTRL_START_GAP_HH

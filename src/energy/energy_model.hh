@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Component energy parameters and accounting.
+ *
+ * Each full-system model computes an EnergyBreakdown from its
+ * components' activity counters after a run; Figures 17, 20 and 21
+ * aggregate these. The parameters are engineering estimates for the
+ * technologies of Table I, chosen so the *relative* costs match the
+ * paper's observations (host stack dominates Hetero; DRAM pollution
+ * costs the page-granule systems; DRAM-less spends its energy in the
+ * PRAM and the PEs).
+ */
+
+#ifndef DRAMLESS_ENERGY_ENERGY_MODEL_HH
+#define DRAMLESS_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace energy
+{
+
+/** Per-component energy/power parameters. */
+struct EnergyParams
+{
+    /** @name Accelerator PEs (TI C6678-class, per core) @{ */
+    double peActiveWatts = 1.2;
+    double peStallWatts = 0.45;
+    double peSleepWatts = 0.05;
+    /** Server PE + MCU + crossbar overhead while the accelerator is
+     *  powered. */
+    double uncoreWatts = 0.8;
+    /** @} */
+
+    /** @name PRAM (3x nm multi-partition) @{ */
+    double pramReadPicojoulePerBit = 2.0;
+    double pramSetPicojoulePerBit = 18.0;
+    double pramResetPicojoulePerBit = 12.0;
+    double pramIdleWattsPerModule = 0.003;
+    /** FPGA controller + PHY static power per channel. */
+    double fpgaCtrlWattsPerChannel = 0.5;
+    /** @} */
+
+    /** @name Flash / SSD @{ */
+    double flashReadMicrojoulePerPage = 28.0;
+    double flashProgramMicrojoulePerPage = 160.0;
+    double flashEraseMicrojoulePerBlock = 260.0;
+    /** SSD controller + firmware cores while busy. */
+    double ssdControllerWatts = 2.5;
+    /** Internal DRAM buffer: access energy and standby power. */
+    double dramPicojoulePerByte = 45.0;
+    double dramStandbyWattsPerGig = 0.25;
+    /** @} */
+
+    /** @name NOR-interface PRAM @{ */
+    double norReadNanojoulePerByte = 0.4;
+    double norWriteNanojoulePerByte = 45.0;
+    /** @} */
+
+    /** @name Host @{ */
+    double hostActiveWatts = 65.0;
+    double hostIdleWatts = 8.0;
+    /** Host CPU presence while it coordinates a heterogeneous run
+     *  (chunk scheduling, driver work, completion polling) — the
+     *  cost the integrated systems avoid entirely because "the host
+     *  can process other tasks" (Section IV). */
+    double hostCoordinationWatts = 5.0;
+    double pciePicojoulePerByte = 35.0;
+    /** @} */
+
+    static EnergyParams paperDefault() { return EnergyParams{}; }
+};
+
+/** Energy totals by architectural category, in joules. */
+struct EnergyBreakdown
+{
+    /** Host CPU time spent in the storage/software stack. */
+    double hostStack = 0.0;
+    /** PCIe transfer energy. */
+    double pcie = 0.0;
+    /** Agent + server PE cores. */
+    double accelCores = 0.0;
+    /** Internal/external DRAM buffers. */
+    double dram = 0.0;
+    /** NVM media: flash or PRAM array operations. */
+    double storageMedia = 0.0;
+    /** Storage controllers: SSD firmware cores or the FPGA PRAM
+     *  controller. */
+    double controller = 0.0;
+
+    double
+    total() const
+    {
+        return hostStack + pcie + accelCores + dram + storageMedia +
+               controller;
+    }
+
+    EnergyBreakdown &
+    operator+=(const EnergyBreakdown &o)
+    {
+        hostStack += o.hostStack;
+        pcie += o.pcie;
+        accelCores += o.accelCores;
+        dram += o.dram;
+        storageMedia += o.storageMedia;
+        controller += o.controller;
+        return *this;
+    }
+};
+
+/** @return joules from @p watts sustained over @p ticks. */
+inline double
+wattsOver(double watts, Tick ticks)
+{
+    return watts * toSec(ticks);
+}
+
+/** @return joules for @p bits at @p pj_per_bit. */
+inline double
+perBit(double pj_per_bit, std::uint64_t bits)
+{
+    return pj_per_bit * double(bits) * 1e-12;
+}
+
+/** @return joules for @p bytes at @p pj_per_byte. */
+inline double
+perByte(double pj_per_byte, std::uint64_t bytes)
+{
+    return pj_per_byte * double(bytes) * 1e-12;
+}
+
+} // namespace energy
+} // namespace dramless
+
+#endif // DRAMLESS_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Internal DRAM buffer cache of the SSDs and integrated flash
+ * accelerators (Section VI: "the size of their internal DRAM buffer
+ * is 1GB"). Page-granular, LRU, write-back with a dirty watermark
+ * that throttles writers to flash speed once half the buffer is
+ * dirty.
+ */
+
+#ifndef DRAMLESS_FLASH_DRAM_CACHE_HH
+#define DRAMLESS_FLASH_DRAM_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace flash
+{
+
+/** DRAM buffer parameters. */
+struct DramCacheConfig
+{
+    /** Buffer capacity in bytes (paper: 1 GiB). */
+    std::uint64_t capacityBytes = 1ull << 30;
+    /** Cached unit (one flash page). */
+    std::uint32_t pageBytes = 16384;
+    /** Fixed DRAM access latency. */
+    Tick accessLatency = fromNs(150);
+    /** DRAM bandwidth in bytes per second. */
+    double bytesPerSec = 12.8e9;
+    /** Dirty fraction beyond which writes flush synchronously. */
+    double dirtyWatermark = 0.5;
+};
+
+/** Cache activity counters. */
+struct DramCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t cleanEvictions = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total ? double(hits) / double(total) : 0.0;
+    }
+};
+
+/**
+ * LRU page cache. Timing helpers expose the DRAM access cost; the
+ * owner (Ssd / integrated accelerator) decides what the evicted dirty
+ * pages cost on flash.
+ */
+class DramCache
+{
+  public:
+    DramCache(const DramCacheConfig &config, std::string name)
+        : config_(config), name_(std::move(name)),
+          capacityPages_(config.capacityBytes / config.pageBytes)
+    {
+        fatal_if(capacityPages_ == 0, "%s: cache smaller than a page",
+                 name_.c_str());
+    }
+
+    /** @return DRAM time to move @p bytes through the buffer. */
+    Tick
+    accessTime(std::uint64_t bytes) const
+    {
+        return config_.accessLatency +
+               Tick(double(bytes) / config_.bytesPerSec * 1e12);
+    }
+
+    /** @return true when @p lpn is resident (and refresh its LRU
+     *  position). */
+    bool
+    lookup(std::uint64_t lpn)
+    {
+        auto it = map_.find(lpn);
+        if (it == map_.end()) {
+            ++stats_.misses;
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second.pos);
+        ++stats_.hits;
+        return true;
+    }
+
+    /** @return true when @p lpn is resident (no LRU side effects,
+     *  no stat updates). */
+    bool
+    contains(std::uint64_t lpn) const
+    {
+        return map_.count(lpn) > 0;
+    }
+
+    /** Result of an insertion. */
+    struct Eviction
+    {
+        bool evicted = false;
+        bool dirty = false;
+        std::uint64_t lpn = 0;
+    };
+
+    /**
+     * Insert (or refresh) @p lpn. @return the eviction the insertion
+     * forced, if any.
+     */
+    Eviction
+    insert(std::uint64_t lpn, bool dirty)
+    {
+        Eviction ev;
+        auto it = map_.find(lpn);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second.pos);
+            if (dirty && !it->second.dirty) {
+                it->second.dirty = true;
+                ++dirtyPages_;
+            }
+            return ev;
+        }
+        if (map_.size() >= capacityPages_) {
+            std::uint64_t victim = lru_.back();
+            lru_.pop_back();
+            auto vit = map_.find(victim);
+            ev.evicted = true;
+            ev.dirty = vit->second.dirty;
+            ev.lpn = victim;
+            if (vit->second.dirty) {
+                --dirtyPages_;
+                ++stats_.dirtyEvictions;
+            } else {
+                ++stats_.cleanEvictions;
+            }
+            map_.erase(vit);
+        }
+        lru_.push_front(lpn);
+        map_[lpn] = Entry{lru_.begin(), dirty};
+        if (dirty)
+            ++dirtyPages_;
+        ++stats_.insertions;
+        return ev;
+    }
+
+    /**
+     * Pick the least recently used dirty page for a forced flush.
+     * @return true and set @p lpn when one exists.
+     */
+    bool
+    oldestDirty(std::uint64_t &lpn) const
+    {
+        for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+            auto mit = map_.find(*it);
+            if (mit->second.dirty) {
+                lpn = *it;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Mark @p lpn clean (after its writeback completed). */
+    void
+    markClean(std::uint64_t lpn)
+    {
+        auto it = map_.find(lpn);
+        if (it == map_.end() || !it->second.dirty)
+            return;
+        it->second.dirty = false;
+        --dirtyPages_;
+    }
+
+    /** @return true when the dirty watermark is exceeded. */
+    bool
+    overDirtyWatermark() const
+    {
+        return double(dirtyPages_) >
+               config_.dirtyWatermark * double(capacityPages_);
+    }
+
+    std::uint64_t residentPages() const { return map_.size(); }
+    std::uint64_t dirtyPages() const { return dirtyPages_; }
+    std::uint64_t capacityPages() const { return capacityPages_; }
+    const DramCacheStats &cacheStats() const { return stats_; }
+    const DramCacheConfig &config() const { return config_; }
+
+  private:
+    struct Entry
+    {
+        std::list<std::uint64_t>::iterator pos;
+        bool dirty = false;
+    };
+
+    DramCacheConfig config_;
+    std::string name_;
+    std::uint64_t capacityPages_;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t, Entry> map_;
+    std::uint64_t dirtyPages_ = 0;
+    DramCacheStats stats_;
+};
+
+} // namespace flash
+} // namespace dramless
+
+#endif // DRAMLESS_FLASH_DRAM_CACHE_HH

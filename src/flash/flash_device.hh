@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Multi-channel, multi-die NAND (or PRAM-SSD media) array model.
+ *
+ * Resources: each die senses/programs/erases one page at a time; the
+ * dies of a channel share that channel's data bus for page transfers.
+ * The model is an analytic pipeline: operations reserve resources by
+ * free-time bookkeeping and return their completion ticks, which is
+ * exact for the FIFO service discipline SSD firmware applies.
+ */
+
+#ifndef DRAMLESS_FLASH_FLASH_DEVICE_HH
+#define DRAMLESS_FLASH_FLASH_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/flash_timing.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace flash
+{
+
+/** Layout and bus parameters of the flash array. */
+struct FlashArrayConfig
+{
+    FlashTiming media = FlashTiming::slc();
+    std::uint32_t channels = 8;
+    std::uint32_t diesPerChannel = 4;
+    /** Blocks per die. */
+    std::uint32_t blocksPerDie = 256;
+    /** Pages per block. */
+    std::uint32_t pagesPerBlock = 256;
+    /** Channel bus bandwidth in bytes per second. */
+    double channelBytesPerSec = 1.2e9;
+
+    std::uint32_t numDies() const { return channels * diesPerChannel; }
+
+    std::uint64_t
+    capacityBytes() const
+    {
+        return std::uint64_t(numDies()) * blocksPerDie *
+               pagesPerBlock * media.pageBytes;
+    }
+};
+
+/** Operation counters of the array. */
+struct FlashArrayStats
+{
+    std::uint64_t pageReads = 0;
+    std::uint64_t pagePrograms = 0;
+    std::uint64_t blockErases = 0;
+    Tick dieBusyTicks = 0;
+    Tick channelBusyTicks = 0;
+};
+
+/** Physical page address within the array. */
+struct PhysPage
+{
+    std::uint32_t die = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+};
+
+/** The flash array: per-die and per-channel free-time bookkeeping. */
+class FlashArray
+{
+  public:
+    FlashArray(EventQueue &eq, const FlashArrayConfig &config,
+               std::string name)
+        : eventq_(eq), config_(config), name_(std::move(name)),
+          dieFreeAt_(config.numDies(), 0),
+          channelFreeAt_(config.channels, 0)
+    {
+        fatal_if(!config.media.valid(), "invalid media timing");
+        transferTicks_ = Tick(double(config.media.pageBytes) /
+                              config.channelBytesPerSec * 1e12);
+    }
+
+    /**
+     * Read one page: sense on the die, then transfer over the channel.
+     * @param earliest do not start before this tick.
+     * @return tick the page data is available in the controller.
+     */
+    Tick
+    readPage(const PhysPage &p, Tick earliest = 0)
+    {
+        checkPage(p);
+        Tick start = std::max({eventq_.curTick(), earliest,
+                               dieFreeAt_[p.die]});
+        Tick sensed = start + config_.media.readLatency;
+        std::uint32_t ch = p.die / config_.diesPerChannel;
+        Tick xfer_start = std::max(sensed, channelFreeAt_[ch]);
+        Tick done = xfer_start + transferTicks_;
+        dieFreeAt_[p.die] = sensed;
+        channelFreeAt_[ch] = done;
+        stats_.dieBusyTicks += sensed - start;
+        stats_.channelBusyTicks += transferTicks_;
+        ++stats_.pageReads;
+        return done;
+    }
+
+    /**
+     * Program one page: transfer over the channel, then program on
+     * the die. @return tick the program completes.
+     */
+    Tick
+    programPage(const PhysPage &p, Tick earliest = 0)
+    {
+        checkPage(p);
+        std::uint32_t ch = p.die / config_.diesPerChannel;
+        Tick start = std::max({eventq_.curTick(), earliest,
+                               channelFreeAt_[ch]});
+        Tick xferred = start + transferTicks_;
+        Tick prog_start = std::max(xferred, dieFreeAt_[p.die]);
+        Tick done = prog_start + config_.media.programLatency;
+        channelFreeAt_[ch] = xferred;
+        dieFreeAt_[p.die] = done;
+        stats_.channelBusyTicks += transferTicks_;
+        stats_.dieBusyTicks += done - prog_start;
+        ++stats_.pagePrograms;
+        return done;
+    }
+
+    /**
+     * Erase one block. Media without an erase (PRAM SSDs) complete
+     * immediately. @return tick the erase completes.
+     */
+    Tick
+    eraseBlock(std::uint32_t die, std::uint32_t block,
+               Tick earliest = 0)
+    {
+        panic_if(die >= config_.numDies(), "die out of range");
+        panic_if(block >= config_.blocksPerDie, "block out of range");
+        Tick start = std::max({eventq_.curTick(), earliest,
+                               dieFreeAt_[die]});
+        Tick done = start + config_.media.eraseLatency;
+        dieFreeAt_[die] = done;
+        stats_.dieBusyTicks += done - start;
+        ++stats_.blockErases;
+        return done;
+    }
+
+    /** @return tick die @p die becomes free. */
+    Tick dieFreeAt(std::uint32_t die) const
+    {
+        return dieFreeAt_.at(die);
+    }
+
+    /** @return channel transfer time for one page. */
+    Tick pageTransferTicks() const { return transferTicks_; }
+
+    const FlashArrayConfig &config() const { return config_; }
+    const FlashArrayStats &arrayStats() const { return stats_; }
+
+  private:
+    void
+    checkPage(const PhysPage &p) const
+    {
+        panic_if(p.die >= config_.numDies() ||
+                     p.block >= config_.blocksPerDie ||
+                     p.page >= config_.pagesPerBlock,
+                 "%s: physical page out of range", name_.c_str());
+    }
+
+    EventQueue &eventq_;
+    FlashArrayConfig config_;
+    std::string name_;
+    std::vector<Tick> dieFreeAt_;
+    std::vector<Tick> channelFreeAt_;
+    Tick transferTicks_;
+    FlashArrayStats stats_;
+};
+
+} // namespace flash
+} // namespace dramless
+
+#endif // DRAMLESS_FLASH_FLASH_DEVICE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * NVM media timing presets of Table I.
+ *
+ * The paper evaluates flash SSDs built from Micron SLC/MLC/TLC NAND
+ * parts, an Intel Optane (PRAM) SSD, and the Numonyx P8P 9x nm
+ * parallel PRAM with a NOR interface. Table I lists the media
+ * latencies used for each; this header encodes them.
+ */
+
+#ifndef DRAMLESS_FLASH_FLASH_TIMING_HH
+#define DRAMLESS_FLASH_FLASH_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace flash
+{
+
+/** Media-level timing of one NVM technology. */
+struct FlashTiming
+{
+    std::string label;
+    /** Page (or block-unit) size the media transfers in parallel. */
+    std::uint32_t pageBytes = 16384;
+    /** Array read (sense) latency for one page. */
+    Tick readLatency = 0;
+    /** Page program latency. */
+    Tick programLatency = 0;
+    /** Block erase latency (0 when the media needs no erase). */
+    Tick eraseLatency = 0;
+
+    /** @return Micron SLC NAND (Table I: 25/300/2000 us). */
+    static FlashTiming
+    slc()
+    {
+        return {"SLC", 16384, fromUs(25), fromUs(300), fromUs(2000)};
+    }
+
+    /** @return Micron MLC NAND (Table I: 50/800/3500 us). */
+    static FlashTiming
+    mlc()
+    {
+        return {"MLC", 16384, fromUs(50), fromUs(800), fromUs(3500)};
+    }
+
+    /** @return Micron TLC NAND (Table I: 80/1250/2274 us). */
+    static FlashTiming
+    tlc()
+    {
+        return {"TLC", 16384, fromUs(80), fromUs(1250), fromUs(2274)};
+    }
+
+    /**
+     * @return Optane-class PRAM SSD media (Table I Hetero-PRAM: word
+     * reads 0.1 us, word writes 10/18 us, no erase). The SSD exposes
+     * a block interface, so a 4 KiB sector is the unit; the sector's
+     * 128 32-byte words spread over ~16 PRAM dice, giving ~2 us
+     * sector reads but ~150 us sector programs — the byte-granular
+     * serialization that makes PRAM SSDs worse than flash at bulk
+     * writes (Section VI-A).
+     */
+    static FlashTiming
+    optane()
+    {
+        return {"PRAM-SSD", 4096, fromUs(2), fromUs(280), 0};
+    }
+
+    /**
+     * @return the 3x nm multi-partition PRAM sample served through a
+     * page-based interface with an internal DRAM (Table I
+     * "PAGE-buffer"): a 16 KiB page spans both channels' 32 modules,
+     * so reads take ~5 us and programs ~200 us (16 serialized word
+     * programs per module).
+     */
+    static FlashTiming
+    pagePram()
+    {
+        return {"PAGE-PRAM", 16384, fromUs(5), fromUs(200), 0};
+    }
+
+    /** @return true when parameters are physically sensible. */
+    bool
+    valid() const
+    {
+        return pageBytes > 0 && readLatency > 0 && programLatency > 0;
+    }
+};
+
+} // namespace flash
+} // namespace dramless
+
+#endif // DRAMLESS_FLASH_FLASH_TIMING_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * PCIe link occupancy model.
+ *
+ * Both the conventional systems (host <-> SSD, host <-> accelerator)
+ * and the peer-to-peer DMA path (SSD <-> accelerator) cross PCIe; the
+ * link is a serial resource with a per-transaction latency and a
+ * sustained bandwidth.
+ */
+
+#ifndef DRAMLESS_HOST_PCIE_HH
+#define DRAMLESS_HOST_PCIE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace host
+{
+
+/** PCIe link parameters (Gen3 x8 effective). */
+struct PcieConfig
+{
+    /** Sustained payload bandwidth. */
+    double bytesPerSec = 7.9e9;
+    /** DMA descriptor / doorbell / completion latency per transfer. */
+    Tick perTransferLatency = fromUs(1.0);
+};
+
+/** Link counters. */
+struct PcieStats
+{
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    Tick busyTicks = 0;
+};
+
+/** One PCIe link as a serial resource. */
+class PcieLink
+{
+  public:
+    PcieLink(EventQueue &eq, const PcieConfig &config,
+             std::string name)
+        : eventq_(eq), config_(config), name_(std::move(name))
+    {}
+
+    /**
+     * Transfer @p bytes starting no earlier than @p earliest.
+     * @return completion tick.
+     */
+    Tick
+    transfer(std::uint64_t bytes, Tick earliest = 0)
+    {
+        panic_if(bytes == 0, "%s: empty transfer", name_.c_str());
+        Tick start = std::max({eventq_.curTick(), earliest,
+                               busyUntil_});
+        Tick dur = config_.perTransferLatency +
+                   Tick(double(bytes) / config_.bytesPerSec * 1e12);
+        busyUntil_ = start + dur;
+        stats_.busyTicks += dur;
+        ++stats_.transfers;
+        stats_.bytes += bytes;
+        return busyUntil_;
+    }
+
+    /** @return tick from which the link is free. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    const PcieStats &pcieStats() const { return stats_; }
+    const PcieConfig &config() const { return config_; }
+
+  private:
+    EventQueue &eventq_;
+    PcieConfig config_;
+    std::string name_;
+    Tick busyUntil_ = 0;
+    PcieStats stats_;
+};
+
+} // namespace host
+} // namespace dramless
+
+#endif // DRAMLESS_HOST_PCIE_HH

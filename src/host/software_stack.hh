@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Host-side storage software stack cost model (Figure 5a).
+ *
+ * In conventional accelerated systems the CPU shepherds every byte
+ * between the SSD and the accelerator: VFS/syscall crossings, block-
+ * layer request handling, redundant copies between the page cache,
+ * user buffers and pinned DMA buffers, and object deserialization.
+ * DRAM-less eliminates this path entirely; the model quantifies what
+ * is being eliminated.
+ */
+
+#ifndef DRAMLESS_HOST_SOFTWARE_STACK_HH
+#define DRAMLESS_HOST_SOFTWARE_STACK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace host
+{
+
+/** Software stack cost parameters. */
+struct StackConfig
+{
+    /** User/kernel mode switch plus VFS dispatch per system call. */
+    Tick syscallOverhead = fromUs(1.5);
+    /** Block layer + NVMe driver handling per I/O request. */
+    Tick blockLayerPerRequest = fromUs(2.0);
+    /** Bytes moved per filesystem I/O request. */
+    std::uint32_t ioRequestBytes = 128 * 1024;
+    /** Host DRAM copy bandwidth (one copy pass). */
+    double memcpyBytesPerSec = 20e9;
+    /** Copies on the read path: page cache -> user buffer -> pinned
+     *  DMA buffer. */
+    std::uint32_t copiesOnPath = 2;
+    /** File-to-object deserialization throughput. */
+    double deserializeBytesPerSec = 3e9;
+    /** Driver/ioctl work to arm one accelerator DMA. */
+    Tick dmaSetup = fromUs(5.0);
+
+    /** @return the conventional full-stack configuration. */
+    static StackConfig conventional() { return StackConfig{}; }
+
+    /**
+     * @return the peer-to-peer DMA configuration (Heterodirect):
+     * data moves SSD->accelerator directly, so the host performs no
+     * page-cache copies and no deserialization, only control-plane
+     * work per request.
+     */
+    static StackConfig
+    peerToPeer()
+    {
+        StackConfig cfg;
+        cfg.copiesOnPath = 0;
+        cfg.deserializeBytesPerSec = 0.0; // skipped entirely
+        cfg.syscallOverhead = fromUs(0.8);
+        cfg.blockLayerPerRequest = fromUs(1.0);
+        return cfg;
+    }
+};
+
+/** Accumulated host activity (for time and energy accounting). */
+struct StackStats
+{
+    std::uint64_t syscalls = 0;
+    std::uint64_t ioRequests = 0;
+    std::uint64_t bytesMoved = 0;
+    /** Host CPU busy time spent in the stack. */
+    Tick cpuBusyTicks = 0;
+};
+
+/** The host software stack: per-transfer CPU cost calculator. */
+class SoftwareStack
+{
+  public:
+    SoftwareStack(const StackConfig &config, std::string name)
+        : config_(config), name_(std::move(name))
+    {}
+
+    /**
+     * CPU time to shepherd @p bytes from the SSD into a buffer the
+     * accelerator can DMA from (excluding the device and PCIe time).
+     */
+    Tick
+    readPathCost(std::uint64_t bytes)
+    {
+        return transferCost(bytes, true);
+    }
+
+    /** CPU time to push @p bytes of results back to the SSD. */
+    Tick
+    writePathCost(std::uint64_t bytes)
+    {
+        return transferCost(bytes, false);
+    }
+
+    /** CPU time to arm one DMA transfer to/from the accelerator. */
+    Tick
+    dmaSetupCost()
+    {
+        stats_.cpuBusyTicks += config_.dmaSetup;
+        ++stats_.syscalls;
+        return config_.dmaSetup;
+    }
+
+    const StackStats &stackStats() const { return stats_; }
+    const StackConfig &config() const { return config_; }
+
+  private:
+    Tick
+    transferCost(std::uint64_t bytes, bool deserialize)
+    {
+        std::uint64_t requests =
+            (bytes + config_.ioRequestBytes - 1) /
+            config_.ioRequestBytes;
+        Tick cost = requests * (config_.syscallOverhead +
+                                config_.blockLayerPerRequest);
+        cost += Tick(double(bytes) * config_.copiesOnPath /
+                     config_.memcpyBytesPerSec * 1e12);
+        if (deserialize && config_.deserializeBytesPerSec > 0.0) {
+            cost += Tick(double(bytes) /
+                         config_.deserializeBytesPerSec * 1e12);
+        }
+        stats_.syscalls += requests;
+        stats_.ioRequests += requests;
+        stats_.bytesMoved += bytes;
+        stats_.cpuBusyTicks += cost;
+        return cost;
+    }
+
+    StackConfig config_;
+    std::string name_;
+    StackStats stats_;
+};
+
+} // namespace host
+} // namespace dramless
+
+#endif // DRAMLESS_HOST_SOFTWARE_STACK_HH

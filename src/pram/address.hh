@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Address decomposition for the multi-partition PRAM.
+ *
+ * A module byte address is split into a word (row-buffer-width unit),
+ * a partition, a row within the partition, and a column within the
+ * word. The row is further split into the upper row address (shipped
+ * to a RAB in the pre-active phase) and the lower row address
+ * (delivered directly in the activate phase), per Section II-B.
+ */
+
+#ifndef DRAMLESS_PRAM_ADDRESS_HH
+#define DRAMLESS_PRAM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "pram/geometry.hh"
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace pram
+{
+
+/** All fields of a decomposed PRAM module address. */
+struct DecomposedAddress
+{
+    /** Target partition within the bank. */
+    std::uint32_t partition;
+    /** Row within the partition (one row = one row-buffer width). */
+    std::uint64_t row;
+    /** Upper bits of the row, held by a RAB. */
+    std::uint64_t upperRow;
+    /** Lower bits of the row, sent with the activate command. */
+    std::uint64_t lowerRow;
+    /** Byte offset within the row buffer. */
+    std::uint32_t column;
+
+    bool
+    operator==(const DecomposedAddress &o) const
+    {
+        return partition == o.partition && row == o.row &&
+               upperRow == o.upperRow && lowerRow == o.lowerRow &&
+               column == o.column;
+    }
+};
+
+/**
+ * Maps byte addresses to PRAM coordinates. Consecutive words are
+ * interleaved across partitions (word i lives in partition
+ * i mod P) so streaming accesses exercise partition parallelism,
+ * matching the layout the DRAM-less server relies on when issuing
+ * 32-byte-per-bank requests.
+ */
+class AddressDecomposer
+{
+  public:
+    explicit AddressDecomposer(const PramGeometry &geom) : geom_(geom)
+    {
+        panic_if(!geom.valid(), "invalid PRAM geometry");
+        lowerMask_ = (std::uint64_t(1) << geom.lowerRowBits) - 1;
+    }
+
+    /** Decompose module byte address @p addr. */
+    DecomposedAddress
+    decompose(std::uint64_t addr) const
+    {
+        panic_if(addr >= geom_.moduleBytes(),
+                 "address 0x%llx beyond module capacity",
+                 (unsigned long long)addr);
+        std::uint64_t word = addr / geom_.rowBufferBytes;
+        DecomposedAddress d;
+        d.column = std::uint32_t(addr % geom_.rowBufferBytes);
+        d.partition = std::uint32_t(word % geom_.partitionsPerBank);
+        d.row = word / geom_.partitionsPerBank;
+        d.lowerRow = d.row & lowerMask_;
+        d.upperRow = d.row >> geom_.lowerRowBits;
+        return d;
+    }
+
+    /** Recompose a byte address from PRAM coordinates. */
+    std::uint64_t
+    compose(std::uint32_t partition, std::uint64_t row,
+            std::uint32_t column) const
+    {
+        std::uint64_t word =
+            row * geom_.partitionsPerBank + partition;
+        return word * geom_.rowBufferBytes + column;
+    }
+
+    /** Merge upper and lower row addresses back into a row index. */
+    std::uint64_t
+    mergeRow(std::uint64_t upper_row, std::uint64_t lower_row) const
+    {
+        return (upper_row << geom_.lowerRowBits) |
+               (lower_row & lowerMask_);
+    }
+
+    /** @return the word index (global, partition-interleaved). */
+    std::uint64_t
+    wordIndex(std::uint64_t addr) const
+    {
+        return addr / geom_.rowBufferBytes;
+    }
+
+    const PramGeometry &geometry() const { return geom_; }
+
+  private:
+    PramGeometry geom_;
+    std::uint64_t lowerMask_;
+};
+
+} // namespace pram
+} // namespace dramless
+
+#endif // DRAMLESS_PRAM_ADDRESS_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Geometry of the 3x nm multi-partition PRAM described in Section II.
+ *
+ * A bank contains 16 partitions; each partition holds 64 resistive
+ * tiles of 2048 bitlines x 4096 wordlines; a partition is split into
+ * two half partitions each able to perform 64 parallel I/O operations,
+ * giving a 256-bit parallel bank access. Four RAB/RDB row-buffer pairs
+ * front the bank (Table II).
+ */
+
+#ifndef DRAMLESS_PRAM_GEOMETRY_HH
+#define DRAMLESS_PRAM_GEOMETRY_HH
+
+#include <cstdint>
+
+namespace dramless
+{
+namespace pram
+{
+
+/** Static layout parameters of one PRAM module (chip). */
+struct PramGeometry
+{
+    /** Partitions per bank (Table II: 16). */
+    std::uint32_t partitionsPerBank = 16;
+    /** Resistive tiles per partition. */
+    std::uint32_t tilesPerPartition = 64;
+    /** Bitlines per tile. */
+    std::uint32_t bitlinesPerTile = 2048;
+    /** Wordlines per tile. */
+    std::uint32_t wordlinesPerTile = 4096;
+    /** Row data buffer width in bytes (256-bit parallel bank access). */
+    std::uint32_t rowBufferBytes = 32;
+    /** Number of RAB/RDB pairs (Table II: 4 RABs, 4 RDBs of 32 B). */
+    std::uint32_t numRowBuffers = 4;
+    /**
+     * Concurrent in-flight cell programs per module. The controller
+     * manages "multiple row/program buffers and overlay windows"
+     * (Section III-B), letting programs to distinct partitions
+     * overlap while the next program buffer fills.
+     */
+    std::uint32_t programSlots = 8;
+    /** Lower-row-address bits delivered directly (not via the RAB). */
+    std::uint32_t lowerRowBits = 8;
+
+    /** Bits stored per cell (SLC PRAM). */
+    static constexpr std::uint32_t bitsPerCell = 1;
+
+    /** @return bytes a partition stores. */
+    std::uint64_t
+    partitionBytes() const
+    {
+        return std::uint64_t(tilesPerPartition) * bitlinesPerTile *
+               wordlinesPerTile * bitsPerCell / 8;
+    }
+
+    /** @return bytes one module (bank) stores. */
+    std::uint64_t
+    moduleBytes() const
+    {
+        return partitionBytes() * partitionsPerBank;
+    }
+
+    /**
+     * @return number of addressable rows per partition. A row is one
+     * row-buffer-width (256-bit) slice served by a bank activation.
+     */
+    std::uint64_t
+    rowsPerPartition() const
+    {
+        return partitionBytes() / rowBufferBytes;
+    }
+
+    /** @return true when the parameters are internally consistent. */
+    bool
+    valid() const
+    {
+        return partitionsPerBank > 0 && tilesPerPartition > 0 &&
+               bitlinesPerTile > 0 && wordlinesPerTile > 0 &&
+               rowBufferBytes > 0 && numRowBuffers > 0 &&
+               (rowBufferBytes & (rowBufferBytes - 1)) == 0 &&
+               partitionBytes() % rowBufferBytes == 0;
+    }
+
+    /** @return the Table II / Section II-A configuration. */
+    static PramGeometry
+    paperDefault()
+    {
+        return PramGeometry{};
+    }
+};
+
+} // namespace pram
+} // namespace dramless
+
+#endif // DRAMLESS_PRAM_GEOMETRY_HH

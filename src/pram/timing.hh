@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Characterized LPDDR2-NVM timing parameters of the PRAM sample
+ * (paper Table II plus Section VI latency notes).
+ */
+
+#ifndef DRAMLESS_PRAM_TIMING_HH
+#define DRAMLESS_PRAM_TIMING_HH
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace pram
+{
+
+/** Supported LPDDR2 burst lengths. */
+enum class BurstLength : std::uint32_t
+{
+    BL4 = 4,
+    BL8 = 8,
+    BL16 = 16,
+};
+
+/**
+ * Timing parameters of one PRAM module. All absolute values are in
+ * ticks (ps); cycle-denominated parameters are scaled by tCK.
+ */
+struct PramTiming
+{
+    /** Interface clock period (400 MHz => 2.5 ns). */
+    Tick tCK = fromNs(2.5);
+    /** Read latency in cycles (read phase command to first data). */
+    Cycles rl = 6;
+    /** Write latency in cycles (write phase command to first data in). */
+    Cycles wl = 3;
+    /** Pre-active (RAB update) time in cycles; analogous to tRP. */
+    Cycles tRP = 3;
+    /** Activate time: row sense into the RDB (address composition +
+     *  array access), analogous to tRCD. */
+    Tick tRCD = fromNs(80);
+    /** DQS output access time after RL (read preamble component). */
+    Tick tDQSCK = fromNs(4.0); // characterized 2.5 - 5.5 ns
+    /** DQS latching skew for writes. */
+    Tick tDQSS = fromNs(1.0); // characterized 0.75 - 1.25 ns
+    /** Write recovery to guarantee program-buffer contents are safe. */
+    Tick tWRA = fromNs(15);
+    /**
+     * Cell program time when the target word is pristine (already
+     * RESET): SET-only pulse train, ~10 us.
+     */
+    Tick cellProgram = fromUs(10);
+    /**
+     * Cell program time when overwriting a programmed word: RESET then
+     * SET, 8 us longer than a pristine program (Section VI).
+     */
+    Tick cellOverwrite = fromUs(18);
+    /**
+     * RESET-only pulse train used by selective erasing (programming
+     * an all-zero word): the SET (crystallization) tail is skipped
+     * entirely, and RESET melt-quench pulses are short, so the
+     * standalone pre-erase is far cheaper than the 8 us RESET train
+     * embedded in a verify-stepped overwrite.
+     */
+    Tick cellResetOnly = fromUs(2);
+    /** Bulk partition erase latency (Section V-A: ~60 ms). */
+    Tick eraseLatency = fromMs(60);
+
+    /** @return burst transfer duration: BL cycles at double data rate
+     *  gives BL/2 clock periods of DQ occupancy; the paper's Table II
+     *  counts tBURST directly in cycles (4/8/16), which we honour. */
+    Tick
+    burstTime(BurstLength bl) const
+    {
+        return Tick(static_cast<std::uint32_t>(bl)) * tCK;
+    }
+
+    /** @return pre-active phase duration in ticks. */
+    Tick preActiveTime() const { return Tick(tRP) * tCK; }
+
+    /** @return read preamble: RL plus DQS access time. */
+    Tick readPreamble() const { return Tick(rl) * tCK + tDQSCK; }
+
+    /** @return write preamble: WL plus DQS skew. */
+    Tick writePreamble() const { return Tick(wl) * tCK + tDQSS; }
+
+    /** @return the Table II characterization. */
+    static PramTiming paperDefault() { return PramTiming{}; }
+
+    /** @return true when all parameters are physically sensible. */
+    bool
+    valid() const
+    {
+        return tCK > 0 && rl > 0 && tRCD > 0 &&
+               cellOverwrite >= cellProgram &&
+               cellProgram > 0 && eraseLatency > cellOverwrite;
+    }
+};
+
+} // namespace pram
+} // namespace dramless
+
+#endif // DRAMLESS_PRAM_TIMING_HH

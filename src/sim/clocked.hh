@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Clock-domain helper for components that operate on discrete edges.
+ */
+
+#ifndef DRAMLESS_SIM_CLOCKED_HH
+#define DRAMLESS_SIM_CLOCKED_HH
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+
+/**
+ * Mixin giving a component a clock period and helpers to align activity
+ * to clock edges of its domain.
+ */
+class Clocked
+{
+  public:
+    /**
+     * @param eq the event queue providing simulated time
+     * @param period_ticks clock period in ticks (> 0)
+     */
+    Clocked(EventQueue &eq, Tick period_ticks)
+        : eventq_(eq), period_(period_ticks)
+    {
+        panic_if(period_ == 0, "zero clock period");
+    }
+
+    /** @return clock period in ticks. */
+    Tick clockPeriod() const { return period_; }
+
+    /** @return clock frequency in MHz. */
+    double frequencyMhz() const { return 1e6 / double(period_); }
+
+    /** Convert a cycle count of this domain to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return Tick(c) * period_; }
+
+    /** Convert ticks to whole cycles of this domain (rounding up). */
+    Cycles ticksToCycles(Tick t) const
+    {
+        return Cycles((t + period_ - 1) / period_);
+    }
+
+    /**
+     * @return the tick of the next clock edge at least @p cycles cycles
+     * after the current tick (edges are aligned to multiples of the
+     * period).
+     */
+    Tick
+    clockEdge(Cycles cycles = 0) const
+    {
+        Tick now = eventq_.curTick();
+        Tick next = ((now + period_ - 1) / period_) * period_;
+        if (next == now && cycles == 0)
+            return now;
+        if (next == now)
+            return now + cyclesToTicks(cycles);
+        return next + (cycles == 0 ? 0 : cyclesToTicks(cycles - 1));
+    }
+
+    /** @return the event queue this component operates on. */
+    EventQueue &eventQueue() const { return eventq_; }
+
+    /** @return the current simulated tick. */
+    Tick curTick() const { return eventq_.curTick(); }
+
+  private:
+    EventQueue &eventq_;
+    Tick period_;
+};
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_CLOCKED_HH

@@ -1,0 +1,115 @@
+#include "sim/debug.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+namespace dramless
+{
+namespace debug
+{
+
+namespace
+{
+
+std::atomic<int> numEnabled{0};
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags;
+    return flags;
+}
+
+std::ostream *outStream = nullptr;
+
+/** Parse DRAMLESS_DEBUG once. */
+void
+parseEnvOnce()
+{
+    static bool parsed = false;
+    if (parsed)
+        return;
+    parsed = true;
+    const char *env = std::getenv("DRAMLESS_DEBUG");
+    if (env == nullptr)
+        return;
+    std::stringstream ss(env);
+    std::string flag;
+    while (std::getline(ss, flag, ',')) {
+        if (!flag.empty())
+            enableFlag(flag);
+    }
+}
+
+struct EnvInit
+{
+    EnvInit() { parseEnvOnce(); }
+} envInit;
+
+} // anonymous namespace
+
+bool
+anyEnabled()
+{
+    return numEnabled.load(std::memory_order_relaxed) > 0;
+}
+
+bool
+flagEnabled(const char *flag)
+{
+    const auto &flags = flagSet();
+    return flags.count(flag) > 0 || flags.count("All") > 0;
+}
+
+void
+enableFlag(const std::string &flag)
+{
+    if (flagSet().insert(flag).second)
+        numEnabled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+disableFlag(const std::string &flag)
+{
+    if (flagSet().erase(flag) > 0)
+        numEnabled.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+clearFlags()
+{
+    numEnabled.fetch_sub(int(flagSet().size()),
+                         std::memory_order_relaxed);
+    flagSet().clear();
+}
+
+std::vector<std::string>
+enabledFlags()
+{
+    return {flagSet().begin(), flagSet().end()};
+}
+
+void
+setStream(std::ostream *os)
+{
+    outStream = os;
+}
+
+void
+print(Tick when, const std::string &name, const std::string &msg)
+{
+    if (outStream != nullptr) {
+        *outStream << when << ": " << name << ": " << msg << "\n";
+        return;
+    }
+    std::fprintf(stderr, "%llu: %s: %s\n",
+                 (unsigned long long)when, name.c_str(),
+                 msg.c_str());
+}
+
+} // namespace debug
+} // namespace dramless

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Debug trace flags (gem5's DPRINTF idiom).
+ *
+ * Components emit timestamped trace lines guarded by named flags:
+ *
+ *     DPRINTF("Ctrl", "module %u issue read row %llu", m, row);
+ *
+ * Flags are off by default and cost one branch on a global counter
+ * when disabled. Enable at runtime with debug::enableFlag("Ctrl") or
+ * from the environment: DRAMLESS_DEBUG=Ctrl,Pram (parsed on first
+ * use; "All" enables everything). Output goes to stderr unless
+ * redirected with debug::setStream().
+ */
+
+#ifndef DRAMLESS_SIM_DEBUG_HH
+#define DRAMLESS_SIM_DEBUG_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace debug
+{
+
+/** @return true when any flag is enabled (the macro fast path). */
+bool anyEnabled();
+
+/** @return true when @p flag (or "All") is enabled. */
+bool flagEnabled(const char *flag);
+
+/** Enable a flag. */
+void enableFlag(const std::string &flag);
+
+/** Disable a flag. */
+void disableFlag(const std::string &flag);
+
+/** Disable every flag. */
+void clearFlags();
+
+/** @return the currently enabled flags (sorted). */
+std::vector<std::string> enabledFlags();
+
+/** Redirect trace output (nullptr restores stderr). */
+void setStream(std::ostream *os);
+
+/** Emit one trace line: "<tick>: <name>: <msg>". */
+void print(Tick when, const std::string &name,
+           const std::string &msg);
+
+} // namespace debug
+
+/**
+ * Emit a trace line when @p flag is enabled. Usable inside any class
+ * providing curTick() and name() (every Clocked component does);
+ * elsewhere use DPRINTFN with explicit tick and name.
+ */
+#define DPRINTF(flag, ...) \
+    do { \
+        if (::dramless::debug::anyEnabled() && \
+            ::dramless::debug::flagEnabled(flag)) { \
+            ::dramless::debug::print(curTick(), name(), \
+                                     ::dramless::csprintf( \
+                                         __VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** DPRINTF with explicit tick and component name. */
+#define DPRINTFN(flag, when, who, ...) \
+    do { \
+        if (::dramless::debug::anyEnabled() && \
+            ::dramless::debug::flagEnabled(flag)) { \
+            ::dramless::debug::print((when), (who), \
+                                     ::dramless::csprintf( \
+                                         __VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_DEBUG_HH

@@ -1,0 +1,115 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+
+Event::~Event()
+{
+    panic_if(_scheduled, "event destroyed while scheduled");
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when, int priority)
+{
+    panic_if(ev == nullptr, "scheduling null event");
+    panic_if(ev->_scheduled, "event '%s' double-scheduled",
+             ev->name().c_str());
+    panic_if(when < _curTick,
+             "event '%s' scheduled in the past (%llu < %llu)",
+             ev->name().c_str(),
+             (unsigned long long)when, (unsigned long long)_curTick);
+
+    ev->_when = when;
+    ev->_priority = priority;
+    ev->_seq = nextSeq_++;
+    ev->_scheduled = true;
+    heap_.push(Entry{when, priority, ev->_seq, ev});
+    ++numPending_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    panic_if(ev == nullptr, "descheduling null event");
+    panic_if(!ev->_scheduled, "event '%s' not scheduled",
+             ev->name().c_str());
+    // Lazy removal: mark the event idle; the heap entry becomes stale and
+    // is discarded when it reaches the top.
+    ev->_scheduled = false;
+    --numPending_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when, int priority)
+{
+    if (ev->_scheduled)
+        deschedule(ev);
+    schedule(ev, when, priority);
+}
+
+void
+EventQueue::skipStale()
+{
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (top.ev->_scheduled && top.ev->_seq == top.seq)
+            return;
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    // skipStale() is not const; emulate it on a copy of the top entries.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipStale();
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipStale();
+    if (heap_.empty())
+        return false;
+
+    Entry top = heap_.top();
+    heap_.pop();
+    panic_if(top.when < _curTick, "time went backwards");
+    _curTick = top.when;
+    top.ev->_scheduled = false;
+    --numPending_;
+    ++numProcessed_;
+    top.ev->process();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick t)
+{
+    while (nextTick() <= t)
+        step();
+    if (_curTick < t)
+        _curTick = t;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && step())
+        ++n;
+    return n;
+}
+
+} // namespace dramless

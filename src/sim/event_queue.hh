@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deterministic event-driven simulation kernel.
+ *
+ * Events are ordered by (tick, priority, insertion sequence), so two runs
+ * of the same configuration always interleave events identically.
+ */
+
+#ifndef DRAMLESS_SIM_EVENT_QUEUE_HH
+#define DRAMLESS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+
+class EventQueue;
+
+/**
+ * Base class for schedulable events. An event may be scheduled on at most
+ * one queue at a time; the owner is responsible for keeping the event
+ * alive while it is scheduled.
+ */
+class Event
+{
+  public:
+    /** Lower values are processed first among events at the same tick. */
+    static constexpr int defaultPriority = 0;
+    /** Priority for bookkeeping that must run before device activity. */
+    static constexpr int highPriority = -10;
+    /** Priority for stat sampling that must observe a settled tick. */
+    static constexpr int lowPriority = 10;
+
+    virtual ~Event();
+
+    /** Callback invoked when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** @return a short diagnostic name. */
+    virtual std::string name() const { return "event"; }
+
+    /** @return true while the event sits on a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** @return the tick the event is scheduled for. */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    Tick _when = 0;
+    int _priority = defaultPriority;
+    std::uint64_t _seq = 0;
+    bool _scheduled = false;
+};
+
+/** An event that invokes a bound callable; convenient for members. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    /**
+     * @param callback invoked at the scheduled tick
+     * @param name diagnostic name
+     */
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name = "anon")
+        : callback_(std::move(callback)), name_(std::move(name))
+    {}
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * The event queue. Maintains current simulated time and processes events
+ * in deterministic order.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated tick. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p ev at absolute tick @p when.
+     * @pre the event is not already scheduled and when >= curTick().
+     */
+    void schedule(Event *ev, Tick when, int priority = 0);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Move a scheduled (or idle) event to a new tick. */
+    void reschedule(Event *ev, Tick when, int priority = 0);
+
+    /** @return true when no events remain pending. */
+    bool empty() const { return numPending_ == 0; }
+
+    /** @return number of pending (live) events. */
+    std::size_t numPending() const { return numPending_; }
+
+    /** @return the tick of the earliest pending event, or maxTick. */
+    Tick nextTick() const;
+
+    /** Process a single event. @return false when the queue was empty. */
+    bool step();
+
+    /** Process every event scheduled at tick <= @p t; curTick ends at t. */
+    void runUntil(Tick t);
+
+    /** Process events until the queue drains. */
+    void run();
+
+    /**
+     * Process events until the queue drains or @p limit events have been
+     * handled. @return the number of events processed.
+     */
+    std::uint64_t run(std::uint64_t limit);
+
+    /** Total number of events processed since construction. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop stale (descheduled/rescheduled) entries off the heap top. */
+    void skipStale();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        heap_;
+    Tick _curTick = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::size_t numPending_ = 0;
+    std::uint64_t numProcessed_ = 0;
+};
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_EVENT_QUEUE_HH

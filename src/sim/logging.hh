@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() marks simulator bugs (aborts),
+ * fatal() marks user/configuration errors (clean exit), warn() and
+ * inform() report conditions that do not stop the simulation.
+ */
+
+#ifndef DRAMLESS_SIM_LOGGING_HH
+#define DRAMLESS_SIM_LOGGING_HH
+
+#include <string>
+
+namespace dramless
+{
+
+/** sprintf into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace logging_detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace logging_detail
+
+/** Globally silence inform()/warn() output (used by benchmarks). */
+void setQuiet(bool quiet);
+/** @return whether inform()/warn() output is suppressed. */
+bool quiet();
+
+/**
+ * Report an internal simulator error and abort. Use for conditions that
+ * can never happen unless the simulator itself is broken.
+ */
+#define panic(...) \
+    ::dramless::logging_detail::panicImpl( \
+        __FILE__, __LINE__, ::dramless::csprintf(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with an error code.
+ */
+#define fatal(...) \
+    ::dramless::logging_detail::fatalImpl( \
+        __FILE__, __LINE__, ::dramless::csprintf(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...) \
+    ::dramless::logging_detail::warnImpl(::dramless::csprintf(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...) \
+    ::dramless::logging_detail::informImpl(::dramless::csprintf(__VA_ARGS__))
+
+/** panic() if @p cond does not hold. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+/** fatal() if @p cond does not hold. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_LOGGING_HH

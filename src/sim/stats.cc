@@ -1,0 +1,148 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace stats
+{
+
+Histogram::Histogram(std::string name, double lo, double hi,
+                     std::size_t buckets, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo)
+{
+    panic_if(buckets == 0, "histogram needs at least one bucket");
+    panic_if(hi <= lo, "histogram range is empty");
+    width_ = (hi - lo) / double(buckets);
+    counts_.assign(buckets, 0);
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    total_ += weight;
+    if (v < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    auto idx = std::size_t((v - lo_) / width_);
+    if (idx >= counts_.size()) {
+        overflow_ += weight;
+        return;
+    }
+    counts_[idx] += weight;
+}
+
+void
+Histogram::reset()
+{
+    counts_.assign(counts_.size(), 0);
+    underflow_ = 0;
+    overflow_ = 0;
+    total_ = 0;
+}
+
+void
+TimeSeries::record(Tick when, double value)
+{
+    panic_if(!samples_.empty() && when < samples_.back().when,
+             "time series '%s' sampled backwards in time", name_.c_str());
+    samples_.push_back(TimePoint{when, value});
+}
+
+double
+TimeSeries::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : samples_)
+        sum += p.value;
+    return sum / double(samples_.size());
+}
+
+double
+TimeSeries::timeWeightedMean() const
+{
+    if (samples_.size() < 2)
+        return samples_.empty() ? 0.0 : samples_.front().value;
+    double area = 0.0;
+    Tick span = samples_.back().when - samples_.front().when;
+    if (span == 0)
+        return mean();
+    for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+        Tick dt = samples_[i + 1].when - samples_[i].when;
+        area += samples_[i].value * double(dt);
+    }
+    return area / double(span);
+}
+
+std::vector<TimePoint>
+TimeSeries::downsample(std::size_t max_points) const
+{
+    if (max_points == 0 || samples_.size() <= max_points)
+        return samples_;
+    std::vector<TimePoint> out;
+    out.reserve(max_points);
+    std::size_t window = (samples_.size() + max_points - 1) / max_points;
+    for (std::size_t i = 0; i < samples_.size(); i += window) {
+        std::size_t end = std::min(i + window, samples_.size());
+        double sum = 0.0;
+        for (std::size_t j = i; j < end; ++j)
+            sum += samples_[j].value;
+        out.push_back(TimePoint{samples_[i].when,
+                                sum / double(end - i)});
+    }
+    return out;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- " << name_ << " ----------\n";
+    for (const auto *s : scalars_) {
+        os << std::left << std::setw(40) << s->name() << " "
+           << s->value();
+        if (!s->desc().empty())
+            os << "   # " << s->desc();
+        os << "\n";
+    }
+    for (const auto *a : averages_) {
+        os << std::left << std::setw(40) << a->name() << " mean="
+           << a->mean() << " min=" << a->min() << " max=" << a->max()
+           << " n=" << a->count();
+        if (!a->desc().empty())
+            os << "   # " << a->desc();
+        os << "\n";
+    }
+    for (const auto *h : histograms_) {
+        os << std::left << std::setw(40) << h->name()
+           << " samples=" << h->totalSamples()
+           << " under=" << h->underflow()
+           << " over=" << h->overflow() << "\n";
+        for (std::size_t i = 0; i < h->numBuckets(); ++i) {
+            if (h->bucketCount(i) == 0)
+                continue;
+            os << "    [" << h->bucketLow(i) << ", " << h->bucketHigh(i)
+               << ") " << h->bucketCount(i) << "\n";
+        }
+    }
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace stats
+} // namespace dramless

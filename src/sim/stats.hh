@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components declare named statistics (scalars, averages, histograms,
+ * time series) and optionally register them with a StatGroup so a whole
+ * system's counters can be dumped in one pass.
+ */
+
+#ifndef DRAMLESS_SIM_STATS_HH
+#define DRAMLESS_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace stats
+{
+
+/** A plain accumulating counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator-=(double v) { value_ -= v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+
+    /** Overwrite the current value. */
+    void set(double v) { value_ = v; }
+    /** @return the accumulated value. */
+    double value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_ = 0.0;
+};
+
+/** Mean/min/max over a stream of samples. */
+class Average
+{
+  public:
+    Average() = default;
+    explicit Average(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::max();
+        max_ = std::numeric_limits<double>::lowest();
+    }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::max();
+    double max_ = std::numeric_limits<double>::lowest();
+};
+
+/** Fixed-width linear histogram. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram("", 0.0, 1.0, 1) {}
+
+    /**
+     * @param name stat name
+     * @param lo lower bound of the first bucket
+     * @param hi upper bound of the last bucket
+     * @param buckets number of equal-width buckets (>= 1)
+     */
+    Histogram(std::string name, double lo, double hi,
+              std::size_t buckets, std::string desc = "");
+
+    /** Add a sample; out-of-range samples land in underflow/overflow. */
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+    double bucketLow(std::size_t i) const { return lo_ + width_ * double(i); }
+    double bucketHigh(std::size_t i) const { return bucketLow(i) + width_; }
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** One sample of a time series. */
+struct TimePoint
+{
+    Tick when;
+    double value;
+};
+
+/** A (tick, value) trace, e.g. IPC or power over time. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name, std::string desc = "")
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    /** Append a sample; ticks must be non-decreasing. */
+    void record(Tick when, double value);
+
+    const std::vector<TimePoint> &samples() const { return samples_; }
+    bool empty() const { return samples_.empty(); }
+    std::size_t size() const { return samples_.size(); }
+
+    /** Mean of the recorded values (unweighted). */
+    double mean() const;
+
+    /**
+     * Time-weighted mean: each value is held until the next sample;
+     * the final value is ignored (zero duration).
+     */
+    double timeWeightedMean() const;
+
+    /**
+     * Downsample to at most @p max_points by averaging fixed-size
+     * windows of samples. Useful for printing compact series.
+     */
+    std::vector<TimePoint> downsample(std::size_t max_points) const;
+
+    void reset() { samples_.clear(); }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::vector<TimePoint> samples_;
+};
+
+/** A named collection of statistics that can be dumped together. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(const Scalar *s) { scalars_.push_back(s); }
+    void add(const Average *a) { averages_.push_back(a); }
+    void add(const Histogram *h) { histograms_.push_back(h); }
+
+    /** Write all registered stats to @p os, one per line. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<const Scalar *> scalars_;
+    std::vector<const Average *> averages_;
+    std::vector<const Histogram *> histograms_;
+};
+
+/** Geometric mean of @p values (values must be > 0). */
+double geomean(const std::vector<double> &values);
+
+} // namespace stats
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_STATS_HH

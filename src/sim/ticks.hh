@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * The simulator counts time in integer ticks where one tick equals one
+ * picosecond. This resolution makes every LPDDR2-NVM timing parameter of
+ * the paper (tCK = 2.5 ns, tDQSS = 0.75 ns, ...) exactly representable.
+ */
+
+#ifndef DRAMLESS_SIM_TICKS_HH
+#define DRAMLESS_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace dramless
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A signed tick difference. */
+using TickDelta = std::int64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per picosecond (the base unit). */
+constexpr Tick tickPerPs = 1;
+/** Ticks per nanosecond. */
+constexpr Tick tickPerNs = 1000 * tickPerPs;
+/** Ticks per microsecond. */
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+/** Ticks per millisecond. */
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+/** Ticks per second. */
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** The maximum representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert picoseconds to ticks. */
+constexpr Tick fromPs(double ps) { return Tick(ps * double(tickPerPs)); }
+/** Convert nanoseconds to ticks. */
+constexpr Tick fromNs(double ns) { return Tick(ns * double(tickPerNs)); }
+/** Convert microseconds to ticks. */
+constexpr Tick fromUs(double us) { return Tick(us * double(tickPerUs)); }
+/** Convert milliseconds to ticks. */
+constexpr Tick fromMs(double ms) { return Tick(ms * double(tickPerMs)); }
+/** Convert seconds to ticks. */
+constexpr Tick fromSec(double s) { return Tick(s * double(tickPerSec)); }
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double toNs(Tick t) { return double(t) / double(tickPerNs); }
+/** Convert ticks to (fractional) microseconds. */
+constexpr double toUs(Tick t) { return double(t) / double(tickPerUs); }
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double toMs(Tick t) { return double(t) / double(tickPerMs); }
+/** Convert ticks to (fractional) seconds. */
+constexpr double toSec(Tick t) { return double(t) / double(tickPerSec); }
+
+/** Period in ticks of a clock running at @p mhz megahertz. */
+constexpr Tick periodFromMhz(double mhz)
+{
+    return Tick(1e6 / mhz * double(tickPerPs));
+}
+
+/** Period in ticks of a clock running at @p ghz gigahertz. */
+constexpr Tick periodFromGhz(double ghz)
+{
+    return Tick(1e3 / ghz * double(tickPerPs));
+}
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_TICKS_HH

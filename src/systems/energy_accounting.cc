@@ -1,0 +1,202 @@
+#include "systems/energy_accounting.hh"
+
+#include <algorithm>
+
+namespace dramless
+{
+namespace systems
+{
+
+using energy::EnergyBreakdown;
+using energy::EnergyParams;
+using energy::perBit;
+using energy::perByte;
+using energy::wattsOver;
+
+EnergyBreakdown
+accelCoreEnergy(const accel::Accelerator &accel, Tick start, Tick end,
+                std::uint32_t launched_agents, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    Tick duration = end > start ? end - start : 0;
+    for (std::uint32_t i = 0; i < launched_agents; ++i) {
+        const accel::ProcessingElement &pe = accel.agent(i);
+        const accel::PeStats &s = pe.peStats();
+        Tick busy = (s.computeCycles + s.memAccessCycles) *
+                    pe.config().clockPeriod;
+        Tick active =
+            accel.psc().residency(i + 1, accel::PowerState::active,
+                                  end);
+        Tick stall = active > busy ? active - busy : 0;
+        busy = std::min(busy, active);
+        Tick asleep = duration > active ? duration - active : 0;
+        e.accelCores += wattsOver(p.peActiveWatts, busy) +
+                        wattsOver(p.peStallWatts, stall) +
+                        wattsOver(p.peSleepWatts, asleep);
+    }
+    // Server PE, MCU and crossbar stay on for the whole run.
+    e.accelCores += wattsOver(p.uncoreWatts, duration);
+    return e;
+}
+
+EnergyBreakdown
+pramEnergy(const ctrl::PramSubsystem &pram, Tick duration,
+           const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    std::uint64_t modules = 0;
+    for (std::uint32_t c = 0; c < pram.numChannels(); ++c) {
+        const ctrl::ChannelController &ch = pram.channel(c);
+        for (std::uint32_t m = 0; m < ch.numModules(); ++m) {
+            const pram::ModuleStats &s =
+                ch.module(m).moduleStats();
+            std::uint64_t word_bits =
+                std::uint64_t(
+                    ch.module(m).geometry().rowBufferBytes) * 8;
+            e.storageMedia +=
+                perBit(p.pramReadPicojoulePerBit, s.bytesRead * 8);
+            // SET-only programs, RESET-only zero-fills, and
+            // RESET+SET overwrites.
+            e.storageMedia += perBit(p.pramSetPicojoulePerBit,
+                                     s.numPristinePrograms *
+                                         word_bits);
+            e.storageMedia += perBit(p.pramResetPicojoulePerBit,
+                                     s.numResetOnlyPrograms *
+                                         word_bits);
+            e.storageMedia +=
+                perBit(p.pramSetPicojoulePerBit +
+                           p.pramResetPicojoulePerBit,
+                       s.numOverwrites * word_bits);
+            ++modules;
+        }
+    }
+    e.storageMedia +=
+        wattsOver(p.pramIdleWattsPerModule * double(modules),
+                  duration);
+    e.controller += wattsOver(
+        p.fpgaCtrlWattsPerChannel * double(pram.numChannels()),
+        duration);
+    return e;
+}
+
+EnergyBreakdown
+ssdEnergy(const flash::Ssd &ssd, Tick duration,
+          const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    const flash::FlashArrayStats &a = ssd.arrayStats();
+    e.storageMedia +=
+        a.pageReads * p.flashReadMicrojoulePerPage * 1e-6;
+    e.storageMedia +=
+        a.pagePrograms * p.flashProgramMicrojoulePerPage * 1e-6;
+    e.storageMedia +=
+        a.blockErases * p.flashEraseMicrojoulePerBlock * 1e-6;
+
+    // Every buffer insertion/hit moves one page through the DRAM.
+    const flash::DramCacheStats &c = ssd.cacheStats();
+    std::uint64_t page = ssd.config().buffer.pageBytes;
+    e.dram += perByte(p.dramPicojoulePerByte,
+                      (c.insertions + c.hits) * page);
+    double gig = double(ssd.config().buffer.capacityBytes) /
+                 double(1ull << 30);
+    e.dram += wattsOver(p.dramStandbyWattsPerGig * gig, duration);
+
+    e.controller +=
+        wattsOver(p.ssdControllerWatts,
+                  ssd.firmware().busyTicks());
+    return e;
+}
+
+EnergyBreakdown
+norEnergy(const flash::NorPram &nor, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    const flash::NorPramStats &s = nor.norStats();
+    e.storageMedia +=
+        p.norReadNanojoulePerByte * double(s.bytesRead) * 1e-9;
+    e.storageMedia +=
+        p.norWriteNanojoulePerByte * double(s.bytesWritten) * 1e-9;
+    return e;
+}
+
+EnergyBreakdown
+hostEnergy(const host::SoftwareStack &stack, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.hostStack = wattsOver(p.hostActiveWatts,
+                            stack.stackStats().cpuBusyTicks);
+    return e;
+}
+
+EnergyBreakdown
+pcieEnergy(const host::PcieLink &link, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.pcie = perByte(p.pciePicojoulePerByte,
+                     link.pcieStats().bytes);
+    return e;
+}
+
+EnergyBreakdown
+dramEnergy(std::uint64_t bytes_moved, std::uint64_t capacity_bytes,
+           Tick duration, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    e.dram = perByte(p.dramPicojoulePerByte, bytes_moved);
+    double gig = double(capacity_bytes) / double(1ull << 30);
+    e.dram += wattsOver(p.dramStandbyWattsPerGig * gig, duration);
+    return e;
+}
+
+stats::TimeSeries
+corePowerSeries(const accel::Accelerator &accel,
+                std::uint32_t launched_agents, const EnergyParams &p)
+{
+    stats::TimeSeries power("corePowerW");
+    double n = double(launched_agents);
+    for (const stats::TimePoint &pt :
+         accel.activitySeries().samples()) {
+        double act = pt.value;
+        double watts = n * (act * p.peActiveWatts +
+                            (1.0 - act) * p.peStallWatts) +
+                       p.uncoreWatts;
+        power.record(pt.when, watts);
+    }
+    return power;
+}
+
+stats::TimeSeries
+cumulativeEnergySeries(const stats::TimeSeries &core_power,
+                       double total_joules, Tick start, Tick end)
+{
+    stats::TimeSeries cum("cumulativeEnergyJ");
+    if (core_power.empty() || end <= start)
+        return cum;
+    // Integrate the core power, then spread the non-core remainder
+    // uniformly so the final point equals the run's total energy.
+    double core_total = 0.0;
+    {
+        Tick prev = start;
+        double prev_w = core_power.samples().front().value;
+        for (const auto &pt : core_power.samples()) {
+            core_total += prev_w * toSec(pt.when - prev);
+            prev = pt.when;
+            prev_w = pt.value;
+        }
+    }
+    double non_core = std::max(0.0, total_joules - core_total);
+    double acc = 0.0;
+    Tick prev = start;
+    double prev_w = core_power.samples().front().value;
+    for (const auto &pt : core_power.samples()) {
+        acc += prev_w * toSec(pt.when - prev);
+        double frac = double(pt.when - start) / double(end - start);
+        cum.record(pt.when, acc + non_core * std::min(1.0, frac));
+        prev = pt.when;
+        prev_w = pt.value;
+    }
+    return cum;
+}
+
+} // namespace systems
+} // namespace dramless

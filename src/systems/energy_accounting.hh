@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Post-run energy accounting helpers shared by the full systems.
+ */
+
+#ifndef DRAMLESS_SYSTEMS_ENERGY_ACCOUNTING_HH
+#define DRAMLESS_SYSTEMS_ENERGY_ACCOUNTING_HH
+
+#include "accel/accelerator.hh"
+#include "ctrl/pram_subsystem.hh"
+#include "energy/energy_model.hh"
+#include "flash/nor_pram.hh"
+#include "flash/ssd.hh"
+#include "host/pcie.hh"
+#include "host/software_stack.hh"
+#include "sim/stats.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+/** Agent+server core energy from PSC residency and PE activity. */
+energy::EnergyBreakdown
+accelCoreEnergy(const accel::Accelerator &accel, Tick start, Tick end,
+                std::uint32_t launched_agents,
+                const energy::EnergyParams &p);
+
+/** PRAM array + FPGA controller energy from subsystem counters. */
+energy::EnergyBreakdown
+pramEnergy(const ctrl::PramSubsystem &pram, Tick duration,
+           const energy::EnergyParams &p);
+
+/** Flash/PRAM-page SSD energy: media, buffer DRAM, firmware. */
+energy::EnergyBreakdown
+ssdEnergy(const flash::Ssd &ssd, Tick duration,
+          const energy::EnergyParams &p);
+
+/** NOR-interface PRAM energy. */
+energy::EnergyBreakdown
+norEnergy(const flash::NorPram &nor, const energy::EnergyParams &p);
+
+/** Host software stack energy (active CPU time only; an idle host is
+ *  free to do other work and is not billed to the accelerator). */
+energy::EnergyBreakdown
+hostEnergy(const host::SoftwareStack &stack,
+           const energy::EnergyParams &p);
+
+/** PCIe transfer energy. */
+energy::EnergyBreakdown
+pcieEnergy(const host::PcieLink &link, const energy::EnergyParams &p);
+
+/** Accelerator-internal (or SSD-external staging) DRAM energy. */
+energy::EnergyBreakdown
+dramEnergy(std::uint64_t bytes_moved, std::uint64_t capacity_bytes,
+           Tick duration, const energy::EnergyParams &p);
+
+/**
+ * Core-power time series from the accelerator's activity samples:
+ * P(t) = N * (act * P_active + (1-act) * P_stall) + P_uncore.
+ */
+stats::TimeSeries
+corePowerSeries(const accel::Accelerator &accel,
+                std::uint32_t launched_agents,
+                const energy::EnergyParams &p);
+
+/**
+ * Cumulative total-energy series: the integrated core power plus the
+ * remaining (non-core) energy spread uniformly over the run.
+ */
+stats::TimeSeries
+cumulativeEnergySeries(const stats::TimeSeries &core_power,
+                       double total_joules, Tick start, Tick end);
+
+} // namespace systems
+} // namespace dramless
+
+#endif // DRAMLESS_SYSTEMS_ENERGY_ACCOUNTING_HH

@@ -1,0 +1,287 @@
+#include "systems/hetero_system.hh"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "flash/ssd.hh"
+#include "host/pcie.hh"
+#include "host/software_stack.hh"
+#include "systems/backends.hh"
+#include "systems/energy_accounting.hh"
+#include "workload/trace_gen.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+const char *
+heteroKindName(HeteroKind kind)
+{
+    switch (kind) {
+      case HeteroKind::hetero:
+        return "Hetero";
+      case HeteroKind::heterodirect:
+        return "Heterodirect";
+      case HeteroKind::heteroPram:
+        return "Hetero-PRAM";
+      case HeteroKind::heterodirectPram:
+        return "Heterodirect-PRAM";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isDirect(HeteroKind kind)
+{
+    return kind == HeteroKind::heterodirect ||
+           kind == HeteroKind::heterodirectPram;
+}
+
+bool
+isPramSsd(HeteroKind kind)
+{
+    return kind == HeteroKind::heteroPram ||
+           kind == HeteroKind::heterodirectPram;
+}
+
+/** Allocates one-shot events and keeps them alive until drained. */
+class Sequencer
+{
+  public:
+    explicit Sequencer(EventQueue &eq) : eq_(eq) {}
+
+    void
+    at(Tick when, std::function<void()> fn)
+    {
+        events_.push_back(std::make_unique<EventFunctionWrapper>(
+            std::move(fn), "seq"));
+        eq_.schedule(events_.back().get(),
+                     std::max(when, eq_.curTick()));
+    }
+
+  private:
+    EventQueue &eq_;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events_;
+};
+
+} // anonymous namespace
+
+HeteroSystem::HeteroSystem(HeteroKind kind, const SystemOptions &opts)
+    : AcceleratedSystem(heteroKindName(kind), opts), kind_(kind)
+{}
+
+RunResult
+HeteroSystem::doRun(const workload::WorkloadSpec &spec)
+{
+    RunResult res;
+    const std::uint32_t agents = opts_.numPes - 1;
+    const std::uint32_t chunks = std::max<std::uint32_t>(
+        1, opts_.heteroChunks);
+    workload::WorkloadSpec chunk_spec =
+        spec.scaled(1.0 / double(chunks));
+
+    // --------------------------- components ------------------------
+    flash::SsdConfig scfg = isPramSsd(kind_)
+                                ? flash::SsdConfig::optane()
+                                : flash::SsdConfig::slc();
+    // Preserve the paper's data:buffer ratio — volumes were grown to
+    // roughly 8x the 1 GiB device buffers, so the buffer scales with
+    // the (scaled) workload instead of swallowing it whole.
+    scfg.buffer.capacityBytes = std::max<std::uint64_t>(
+        std::uint64_t(4) * scfg.buffer.pageBytes,
+        spec.totalBytes() / opts_.heteroChunks / scfg.buffer.pageBytes *
+            scfg.buffer.pageBytes);
+    flash::Ssd ssd(eq_, scfg, "ssd");
+    ssd.populate(0, spec.inputBytes);
+
+    host::StackConfig stack_cfg =
+        isDirect(kind_) ? host::StackConfig::peerToPeer()
+                        : host::StackConfig::conventional();
+    host::SoftwareStack stack(stack_cfg, "host");
+    host::PcieLink pcie(eq_, host::PcieConfig{}, "pcie");
+
+    DramBackend::Config dcfg; // 1 GiB internal accelerator DRAM
+    DramBackend dram(eq_, dcfg, "adram");
+
+    accel::AcceleratorConfig acfg;
+    acfg.numPes = opts_.numPes;
+    acfg.sampleInterval = opts_.sampleInterval;
+    accel::Accelerator accel(eq_, acfg, "accel");
+    accel.attachBackend(&dram);
+
+    Sequencer seq(eq_);
+
+    // ------------------------- chunk pipeline ----------------------
+    const std::uint64_t out_base = (dcfg.capacityBytes * 3) / 4;
+    const std::uint64_t image_base = dcfg.capacityBytes - (4 << 20);
+    bool done = false;
+    Tick end_tick = 0;
+    std::uint32_t chunk = 0;
+    Tick ssd_wait = 0; // device time on the chunk load/store path
+    std::vector<std::unique_ptr<workload::PolybenchTraceSource>>
+        traces(agents);
+    stats::TimeSeries ipc_all("totalIpc");
+    stats::TimeSeries act_all("agentActivity");
+
+    std::function<void()> start_chunk = [&]() {
+        // 1. Read the chunk's input from the SSD.
+        ctrl::MemRequest rd;
+        rd.kind = ctrl::ReqKind::read;
+        rd.addr = std::uint64_t(chunk) * chunk_spec.inputBytes;
+        rd.size = std::uint32_t(chunk_spec.inputBytes);
+        Tick load_started = eq_.curTick();
+        ssd.setCallback([&, load_started](const ctrl::MemResponse &r) {
+            ssd_wait += r.completedAt - load_started;
+            // 2. Host software shepherds the data (copies,
+            //    deserialization) and arms the accelerator DMA.
+            Tick t = r.completedAt;
+            t += stack.readPathCost(chunk_spec.inputBytes);
+            t += stack.dmaSetupCost();
+            // 3. PCIe transfer into the accelerator DRAM.
+            Tick arrived =
+                pcie.transfer(chunk_spec.inputBytes, t);
+            if (!isDirect(kind_)) {
+                // Staged path crosses PCIe twice (SSD->host DRAM
+                // happened inside the SSD read; host->accel here).
+            }
+            seq.at(arrived, [&]() {
+                // 4. Execute this chunk's kernels.
+                accel.invalidateAgentCaches();
+                accel::KernelLaunch launch;
+                launch.imageBytes = opts_.imageBytes;
+                launch.imageBase = image_base;
+                launch.imageResident = chunk > 0;
+                // Traditional offload re-coordinates the kernels for
+                // every chunk with host assistance (Section IV), so
+                // the PSC boot sequence is paid each time; the
+                // agentsResident fast path models what the paper's
+                // streaming model avoids and stays off here.
+                for (std::uint32_t i = 0; i < agents; ++i) {
+                    workload::TraceGenConfig tc;
+                    tc.spec = chunk_spec;
+                    tc.inputBase = 0;
+                    tc.outputBase = out_base;
+                    tc.agentIndex = i;
+                    tc.numAgents = agents;
+                    tc.seed = opts_.seed + chunk;
+                    traces[i] = std::make_unique<
+                        workload::PolybenchTraceSource>(tc);
+                    launch.agentTraces.push_back(traces[i].get());
+                }
+                if (!ipc_all.empty() || chunk > 0) {
+                    ipc_all.record(eq_.curTick(), 0.0);
+                    act_all.record(eq_.curTick(), 0.0);
+                }
+                accel.launch(launch, [&](Tick t_done) {
+                    for (const auto &p :
+                         accel.ipcSeries().samples())
+                        ipc_all.record(p.when, p.value);
+                    for (const auto &p :
+                         accel.activitySeries().samples())
+                        act_all.record(p.when, p.value);
+                    ipc_all.record(t_done, 0.0);
+                    act_all.record(t_done, 0.0);
+                    // 5. Write the chunk's outputs back: PCIe out,
+                    //    host stack, SSD write.
+                    Tick t2 = pcie.transfer(
+                        chunk_spec.outputBytes, t_done);
+                    t2 += stack.writePathCost(
+                        chunk_spec.outputBytes);
+                    seq.at(t2, [&]() {
+                        ctrl::MemRequest wr;
+                        wr.kind = ctrl::ReqKind::write;
+                        wr.addr = spec.inputBytes +
+                                  std::uint64_t(chunk) *
+                                      chunk_spec.outputBytes;
+                        wr.size = std::uint32_t(
+                            chunk_spec.outputBytes);
+                        Tick store_started = eq_.curTick();
+                        ssd.setCallback(
+                            [&, store_started](
+                                const ctrl::MemResponse &r2) {
+                                ssd_wait += r2.completedAt -
+                                            store_started;
+                                ++chunk;
+                                if (chunk < chunks) {
+                                    seq.at(r2.completedAt,
+                                           start_chunk);
+                                } else {
+                                    done = true;
+                                    end_tick = r2.completedAt;
+                                }
+                            });
+                        ssd.enqueue(wr);
+                    });
+                });
+            });
+        });
+        ssd.enqueue(rd);
+    };
+
+    seq.at(0, start_chunk);
+    while (!done && eq_.step()) {
+    }
+    panic_if(!done, "%s: run deadlocked on %s", name_.c_str(),
+             spec.name.c_str());
+    // Drain trailing activity so no component is destroyed with a
+    // scheduled event.
+    eq_.run();
+
+    // ---------------------------- metrics --------------------------
+    res.execTime = end_tick;
+    res.hostStackTime = stack.stackStats().cpuBusyTicks;
+    res.transferTime = pcie.pcieStats().busyTicks;
+    Tick stall_sum = 0;
+    std::uint64_t instr = 0;
+    for (std::uint32_t i = 0; i < agents; ++i) {
+        const accel::PeStats &s = accel.agent(i).peStats();
+        stall_sum += s.loadStallTicks + s.storeStallTicks;
+        instr += s.instructions;
+    }
+    // Storage time: agent-side stalls plus the serial SSD phases of
+    // the chunk pipeline (reads before compute, writebacks after).
+    res.storageStallTime = stall_sum / agents + ssd_wait;
+    Tick accounted = res.hostStackTime + res.transferTime +
+                     res.storageStallTime;
+    res.computeTime =
+        res.execTime > accounted ? res.execTime - accounted : 0;
+    res.totalInstructions = instr;
+    res.ipc = ipc_all;
+
+    // ---------------------------- energy ---------------------------
+    energy::EnergyBreakdown e;
+    e += accelCoreEnergy(accel, 0, end_tick, agents, opts_.energy);
+    e += hostEnergy(stack, opts_.energy);
+    // The host stays resident for the whole heterogeneous run,
+    // coordinating chunk movement and kernel scheduling.
+    e.hostStack += energy::wattsOver(
+        opts_.energy.hostCoordinationWatts, end_tick);
+    e += pcieEnergy(pcie, opts_.energy);
+    e += ssdEnergy(ssd, end_tick, opts_.energy);
+    e += dramEnergy(dram.bytesMoved() +
+                        2 * spec.totalBytes(), // staging copies
+                    dram.capacity(), end_tick, opts_.energy);
+    res.energy = e;
+
+    stats::TimeSeries power("corePowerW");
+    const energy::EnergyParams &p = opts_.energy;
+    for (const auto &pt : act_all.samples()) {
+        double watts = double(agents) *
+                           (pt.value * p.peActiveWatts +
+                            (1.0 - pt.value) * p.peStallWatts) +
+                       p.uncoreWatts;
+        power.record(pt.when, watts);
+    }
+    res.corePower = power;
+    res.cumulativeEnergy = cumulativeEnergySeries(
+        res.corePower, e.total(), 0, end_tick);
+    return res;
+}
+
+} // namespace systems
+} // namespace dramless

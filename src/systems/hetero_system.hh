@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The conventional heterogeneous accelerated systems (Figure 5a):
+ * a discrete accelerator with internal DRAM plus an external SSD,
+ * shepherded by the host. Four variants per Table I: flash or Optane
+ * (PRAM) SSD, staged-through-host or peer-to-peer DMA.
+ */
+
+#ifndef DRAMLESS_SYSTEMS_HETERO_SYSTEM_HH
+#define DRAMLESS_SYSTEMS_HETERO_SYSTEM_HH
+
+#include "systems/system.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+/** Heterogeneous system variants. */
+enum class HeteroKind
+{
+    /** Flash SSD, data staged through host DRAM. */
+    hetero,
+    /** Flash SSD, zero-overhead peer-to-peer DMA. */
+    heterodirect,
+    /** Optane-class PRAM SSD, staged through the host. */
+    heteroPram,
+    /** Optane-class PRAM SSD, peer-to-peer DMA. */
+    heterodirectPram,
+};
+
+/** @return the Table I label of @p kind. */
+const char *heteroKindName(HeteroKind kind);
+
+/**
+ * Heterogeneous accelerated system. Data is processed in chunks
+ * sized to the accelerator's internal DRAM: each chunk is read from
+ * the SSD, shepherded by the host software stack, transferred over
+ * PCIe, processed, and its outputs written back in inverse order.
+ */
+class HeteroSystem : public AcceleratedSystem
+{
+  public:
+    HeteroSystem(HeteroKind kind, const SystemOptions &opts);
+
+  protected:
+    RunResult doRun(const workload::WorkloadSpec &spec) override;
+
+  private:
+    HeteroKind kind_;
+};
+
+} // namespace systems
+} // namespace dramless
+
+#endif // DRAMLESS_SYSTEMS_HETERO_SYSTEM_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The "integrated" accelerated systems: storage lives inside the
+ * accelerator, the host only ships the kernel (Figure 5b). Covers
+ * DRAM-less (all scheduler variants and the firmware-managed
+ * configuration), NOR-intf, Integrated-SLC/MLC/TLC, PAGE-buffer and
+ * the ideal all-data-resident reference of Figure 1.
+ */
+
+#ifndef DRAMLESS_SYSTEMS_INTEGRATED_SYSTEM_HH
+#define DRAMLESS_SYSTEMS_INTEGRATED_SYSTEM_HH
+
+#include <memory>
+#include <string>
+
+#include "systems/system.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+/** Storage organization inside the accelerator. */
+enum class IntegratedKind
+{
+    /** DRAM-less: hardware-automated PRAM, Final scheduler. */
+    dramLess,
+    /** DRAM-less with the noop (Bare-metal) scheduler. */
+    dramLessBareMetal,
+    /** DRAM-less with interleaving only. */
+    dramLessInterleaving,
+    /** DRAM-less with selective erasing only. */
+    dramLessSelectiveErase,
+    /** DRAM-less with traditional SSD firmware instead of the
+     *  hardware automation. */
+    dramLessFirmware,
+    /** 9x nm parallel PRAM behind the NOR interface. */
+    norIntf,
+    /** Embedded SLC-flash SSD. */
+    integratedSlc,
+    /** Embedded MLC-flash SSD. */
+    integratedMlc,
+    /** Embedded TLC-flash SSD. */
+    integratedTlc,
+    /** 3x nm PRAM behind a page interface with internal DRAM. */
+    pageBuffer,
+    /** Ideal: every byte resident in fast internal DRAM (Figure 1). */
+    ideal,
+};
+
+/** @return the Table I label of @p kind. */
+const char *integratedKindName(IntegratedKind kind);
+
+/** Integrated accelerated system. */
+class IntegratedSystem : public AcceleratedSystem
+{
+  public:
+    IntegratedSystem(IntegratedKind kind, const SystemOptions &opts);
+
+  protected:
+    RunResult doRun(const workload::WorkloadSpec &spec) override;
+
+  private:
+    IntegratedKind kind_;
+};
+
+} // namespace systems
+} // namespace dramless
+
+#endif // DRAMLESS_SYSTEMS_INTEGRATED_SYSTEM_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Result record of one (system, workload) run — everything the
+ * benchmark harnesses need to regenerate the paper's tables and
+ * figures.
+ */
+
+#ifndef DRAMLESS_SYSTEMS_METRICS_HH
+#define DRAMLESS_SYSTEMS_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+/** One run's metrics. */
+struct RunResult
+{
+    std::string system;
+    std::string workload;
+
+    /** End-to-end execution time (kernel prep to last completion). */
+    Tick execTime = 0;
+
+    /** @name Execution-time decomposition (Figure 16) @{ */
+    /** Host CPU time in the storage software stack. */
+    Tick hostStackTime = 0;
+    /** PCIe transfer occupancy. */
+    Tick transferTime = 0;
+    /** Mean per-agent stall time on storage accesses. */
+    Tick storageStallTime = 0;
+    /** Remainder: actual computation + on-chip time. */
+    Tick computeTime = 0;
+    /** @} */
+
+    /** Data-processing throughput over the whole run. */
+    double bandwidthMBps = 0.0;
+
+    /** Energy decomposition (Figure 17). */
+    energy::EnergyBreakdown energy;
+
+    /** Total-IPC samples over time (Figures 18/19). */
+    stats::TimeSeries ipc;
+    /** Agent core power over time (Figures 20a/21a). */
+    stats::TimeSeries corePower;
+    /** Cumulative total energy over time (Figures 20b/21b). */
+    stats::TimeSeries cumulativeEnergy;
+
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t bytesProcessed = 0;
+
+    /** @return this run's bandwidth normalized to @p baseline. */
+    double
+    speedupOver(const RunResult &baseline) const
+    {
+        return double(baseline.execTime) / double(execTime);
+    }
+};
+
+} // namespace systems
+} // namespace dramless
+
+#endif // DRAMLESS_SYSTEMS_METRICS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Base class and options for the evaluated accelerated systems
+ * (Table I).
+ */
+
+#ifndef DRAMLESS_SYSTEMS_SYSTEM_HH
+#define DRAMLESS_SYSTEMS_SYSTEM_HH
+
+#include <optional>
+#include <string>
+
+#include "accel/accelerator.hh"
+#include "ctrl/scheduler.hh"
+#include "pram/geometry.hh"
+#include "energy/energy_model.hh"
+#include "sim/event_queue.hh"
+#include "systems/metrics.hh"
+#include "workload/polybench.hh"
+
+namespace dramless
+{
+namespace systems
+{
+
+/** Options shared by every system model. */
+struct SystemOptions
+{
+    /** Scale factor applied to workload data volumes. */
+    double workloadScale = 1.0;
+    /** PEs including the server. */
+    std::uint32_t numPes = 8;
+    /** RNG seed for workload traces. */
+    std::uint64_t seed = 1;
+    /** Energy parameters. */
+    energy::EnergyParams energy =
+        energy::EnergyParams::paperDefault();
+    /** IPC/power sampling period. */
+    Tick sampleInterval = fromUs(20);
+    /** Kernel image size shipped per launch (TI C66x kernel code
+     *  segments are compact). */
+    std::uint64_t imageBytes = 16 * 1024;
+    /**
+     * Chunks a heterogeneous run is split into: captures the paper's
+     * data-volume-to-accelerator-DRAM ratio (volumes were grown 10x
+     * to exceed the 1 GiB device buffers).
+     */
+    std::uint32_t heteroChunks = 8;
+    /** Override the DRAM-less scheduler (Figure 13 variants). */
+    std::optional<ctrl::SchedulerConfig> schedulerOverride;
+    /** Override the PRAM geometry (ablation studies). */
+    std::optional<pram::PramGeometry> geometryOverride;
+    /** Keep functional backing stores (slower, data-checked). */
+    bool functional = false;
+};
+
+/**
+ * One accelerated system. Each instance owns a private event queue
+ * and component graph; run one workload per instance for isolated,
+ * reproducible measurements.
+ */
+class AcceleratedSystem
+{
+  public:
+    AcceleratedSystem(std::string name, const SystemOptions &opts)
+        : name_(std::move(name)), opts_(opts)
+    {}
+
+    virtual ~AcceleratedSystem() = default;
+
+    /** Execute @p spec end-to-end and return the run's metrics. */
+    RunResult
+    run(const workload::WorkloadSpec &spec)
+    {
+        workload::WorkloadSpec scaled =
+            spec.scaled(opts_.workloadScale);
+        RunResult result = doRun(scaled);
+        result.system = name_;
+        result.workload = spec.name;
+        result.bytesProcessed = scaled.totalBytes();
+        if (result.execTime > 0) {
+            result.bandwidthMBps =
+                double(scaled.totalBytes()) /
+                (double(result.execTime) / double(tickPerSec)) /
+                1e6;
+        }
+        return result;
+    }
+
+    const std::string &name() const { return name_; }
+
+  protected:
+    virtual RunResult doRun(const workload::WorkloadSpec &spec) = 0;
+
+    std::string name_;
+    SystemOptions opts_;
+    EventQueue eq_;
+};
+
+} // namespace systems
+} // namespace dramless
+
+#endif // DRAMLESS_SYSTEMS_SYSTEM_HH

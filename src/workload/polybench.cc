@@ -1,0 +1,145 @@
+#include "workload/polybench.hh"
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t MiB = 1ull << 20;
+
+/**
+ * Characteristics modeled from the paper:
+ *  - read-intensive: durbin, dynpro, gemver, trisolv (Section VI-A);
+ *  - write-intensive: chol, doitg, lu, seidel (Section VI-B);
+ *  - compute-intensive: adi, fdtdap, floyd, lu (Section VI-C);
+ *  - memory-intensive / large volume: durbin, dynpro, jaco1D, regd
+ *    and jaco2D (Sections VI-A and VI-D);
+ *  - trmm benefits most from interleaving (strided reads, Fig. 13);
+ *  - adi, floyd, jaco1D see little interleaving benefit because of
+ *    overwrite pressure (Fig. 13).
+ */
+const std::vector<WorkloadSpec> &
+table()
+{
+    static const std::vector<WorkloadSpec> specs = {
+        {"adi", Pattern::stencil, WorkloadClass::computeIntensive,
+         4 * MiB, 3 * MiB / 2, 10.0},
+        {"chol", Pattern::triangular, WorkloadClass::writeIntensive,
+         3 * MiB, 3 * MiB / 2, 7.0},
+        {"doitg", Pattern::streaming, WorkloadClass::writeIntensive,
+         3 * MiB, 5 * MiB / 2, 5.0},
+        {"durbin", Pattern::streaming, WorkloadClass::readIntensive,
+         6 * MiB, MiB / 4, 2.0},
+        {"dynpro", Pattern::randomAccess,
+         WorkloadClass::readIntensive, 6 * MiB, MiB / 3, 2.5},
+        {"fdtdap", Pattern::stencil, WorkloadClass::computeIntensive,
+         4 * MiB, 6 * MiB / 5, 11.0},
+        {"floyd", Pattern::randomAccess,
+         WorkloadClass::computeIntensive, 4 * MiB, 4 * MiB / 3, 9.0},
+        {"gemver", Pattern::strided, WorkloadClass::readIntensive,
+         6 * MiB, MiB / 2, 3.0},
+        {"jaco1D", Pattern::streaming, WorkloadClass::memoryIntensive,
+         8 * MiB, 14 * MiB / 5, 2.0},
+        {"jaco2D", Pattern::stencil, WorkloadClass::memoryIntensive,
+         8 * MiB, 5 * MiB / 2, 3.0},
+        {"lu", Pattern::triangular, WorkloadClass::writeIntensive,
+         7 * MiB / 2, 8 * MiB / 5, 8.0},
+        {"regd", Pattern::streaming, WorkloadClass::memoryIntensive,
+         8 * MiB, MiB, 2.0},
+        {"seidel", Pattern::stencil, WorkloadClass::writeIntensive,
+         4 * MiB, 2 * MiB, 5.0},
+        {"trisolv", Pattern::streaming, WorkloadClass::readIntensive,
+         6 * MiB, MiB / 3, 2.0},
+        {"trmm", Pattern::strided, WorkloadClass::balanced,
+         5 * MiB, MiB, 4.0},
+    };
+    return specs;
+}
+
+} // anonymous namespace
+
+WorkloadSpec
+WorkloadSpec::scaled(double factor) const
+{
+    fatal_if(factor <= 0.0, "workload scale must be positive");
+    WorkloadSpec s = *this;
+    auto scale = [factor](std::uint64_t v) {
+        std::uint64_t scaled = std::uint64_t(double(v) * factor);
+        // Keep volumes 32-byte aligned and non-empty.
+        scaled = scaled / 32 * 32;
+        return scaled < 32 ? 32 : scaled;
+    };
+    s.inputBytes = scale(s.inputBytes);
+    s.outputBytes = scale(s.outputBytes);
+    return s;
+}
+
+const std::vector<WorkloadSpec> &
+Polybench::all()
+{
+    return table();
+}
+
+const WorkloadSpec &
+Polybench::byName(const std::string &name)
+{
+    for (const auto &spec : table()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown Polybench workload '%s'", name.c_str());
+}
+
+std::vector<WorkloadSpec>
+Polybench::allScaled(double factor)
+{
+    std::vector<WorkloadSpec> out;
+    out.reserve(table().size());
+    for (const auto &spec : table())
+        out.push_back(spec.scaled(factor));
+    return out;
+}
+
+const char *
+Polybench::patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::streaming:
+        return "streaming";
+      case Pattern::strided:
+        return "strided";
+      case Pattern::stencil:
+        return "stencil";
+      case Pattern::randomAccess:
+        return "random";
+      case Pattern::triangular:
+        return "triangular";
+    }
+    return "?";
+}
+
+const char *
+Polybench::className(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::readIntensive:
+        return "read-intensive";
+      case WorkloadClass::writeIntensive:
+        return "write-intensive";
+      case WorkloadClass::computeIntensive:
+        return "compute-intensive";
+      case WorkloadClass::memoryIntensive:
+        return "memory-intensive";
+      case WorkloadClass::balanced:
+        return "balanced";
+    }
+    return "?";
+}
+
+} // namespace workload
+} // namespace dramless

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Polybench workload descriptors (Table III, Figure 13).
+ *
+ * The paper ports the Polybench suite to the eight-PE platform with
+ * DSP intrinsics and drives every evaluated system with it. The
+ * descriptors here encode each kernel's published characteristics:
+ * write intensiveness (output/input volume), compute intensity,
+ * data volume class and dominant access pattern. Absolute volumes
+ * are scaled down from the paper's multi-gigabyte runs to keep
+ * simulations fast; every consumer exposes a scale knob.
+ */
+
+#ifndef DRAMLESS_WORKLOAD_POLYBENCH_HH
+#define DRAMLESS_WORKLOAD_POLYBENCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dramless
+{
+namespace workload
+{
+
+/** Dominant memory access pattern of a kernel. */
+enum class Pattern
+{
+    /** Sequential sweep (vector kernels, 1-D stencils). */
+    streaming,
+    /** Column-major / large-stride walks (matrix kernels). */
+    strided,
+    /** Neighbourhood re-reads (2-D stencils). */
+    stencil,
+    /** Data-dependent accesses (dynamic programming, graphs). */
+    randomAccess,
+    /** Shrinking-range sweeps (factorizations, solvers). */
+    triangular,
+};
+
+/** Paper classification of a workload. */
+enum class WorkloadClass
+{
+    readIntensive,
+    writeIntensive,
+    computeIntensive,
+    memoryIntensive,
+    balanced,
+};
+
+/** One Polybench kernel's modeled characteristics. */
+struct WorkloadSpec
+{
+    std::string name;
+    Pattern pattern;
+    WorkloadClass klass;
+    /** Input volume in bytes. */
+    std::uint64_t inputBytes;
+    /** Output volume in bytes (write intensiveness = out/in). */
+    std::uint64_t outputBytes;
+    /** Functional-unit operations per byte moved (compute
+     *  intensity, with DSP intrinsics). */
+    double opsPerByte;
+
+    /** @return fraction of traffic that is writes. */
+    double
+    writeRatio() const
+    {
+        return double(outputBytes) /
+               double(inputBytes + outputBytes);
+    }
+
+    /** @return total volume. */
+    std::uint64_t totalBytes() const
+    {
+        return inputBytes + outputBytes;
+    }
+
+    /** @return a copy with volumes scaled by @p factor. */
+    WorkloadSpec scaled(double factor) const;
+};
+
+/** The modeled Polybench suite. */
+class Polybench
+{
+  public:
+    /** @return all fifteen evaluated kernels, Figure 13 order. */
+    static const std::vector<WorkloadSpec> &all();
+
+    /** @return the kernel named @p name (fatal if unknown). */
+    static const WorkloadSpec &byName(const std::string &name);
+
+    /** @return all kernels with volumes scaled by @p factor. */
+    static std::vector<WorkloadSpec> allScaled(double factor);
+
+    /** @return a human-readable label of @p p. */
+    static const char *patternName(Pattern p);
+    /** @return a human-readable label of @p c. */
+    static const char *className(WorkloadClass c);
+};
+
+} // namespace workload
+} // namespace dramless
+
+#endif // DRAMLESS_WORKLOAD_POLYBENCH_HH

@@ -1,0 +1,154 @@
+#include "workload/trace_gen.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+PolybenchTraceSource::PolybenchTraceSource(
+    const TraceGenConfig &config)
+    : cfg_(config), rng_(config.seed + config.agentIndex * 7919)
+{
+    fatal_if(cfg_.numAgents == 0 ||
+                 cfg_.agentIndex >= cfg_.numAgents,
+             "bad agent slice");
+    fatal_if(cfg_.accessBytes == 0 || cfg_.accessBytes % 32 != 0,
+             "access size must be a positive multiple of 32");
+
+    const std::uint32_t unit = cfg_.accessBytes;
+    inSize_ = cfg_.spec.inputBytes / cfg_.numAgents / unit * unit;
+    outSize_ = cfg_.spec.outputBytes / cfg_.numAgents / unit * unit;
+    if (inSize_ == 0)
+        inSize_ = unit;
+    if (outSize_ == 0)
+        outSize_ = unit;
+    inBase_ = cfg_.inputBase + cfg_.agentIndex * inSize_;
+    std::uint64_t out_base = cfg_.outputBase != 0
+                                 ? cfg_.outputBase
+                                 : cfg_.inputBase +
+                                       cfg_.spec.inputBytes;
+    outBase_ = out_base + cfg_.agentIndex * outSize_;
+}
+
+void
+PolybenchTraceSource::rewind()
+{
+    loadOffset_ = 0;
+    storeOffset_ = 0;
+    storeDebt_ = 0.0;
+    flushed_ = false;
+    staged_.clear();
+    rng_ = Random(cfg_.seed + cfg_.agentIndex * 7919);
+}
+
+std::uint64_t
+PolybenchTraceSource::loadAddr(std::uint64_t k)
+{
+    const std::uint32_t unit = cfg_.accessBytes;
+    const std::uint64_t elements = inSize_ / unit;
+    switch (cfg_.spec.pattern) {
+      case Pattern::streaming:
+      case Pattern::stencil:
+        return inBase_ + k * unit;
+      case Pattern::strided: {
+        // Column-major walk: consecutive elements sit one row apart,
+        // so every access opens a new L2 block until the column set
+        // wraps — the request mix interleaving thrives on.
+        std::uint64_t row_bytes =
+            std::min<std::uint64_t>(cfg_.rowBytes, inSize_);
+        std::uint64_t rows = std::max<std::uint64_t>(
+            1, inSize_ / row_bytes);
+        std::uint64_t cols = row_bytes / unit;
+        std::uint64_t row = k % rows;
+        std::uint64_t col = (k / rows) % cols;
+        return inBase_ + row * row_bytes + col * unit;
+      }
+      case Pattern::randomAccess:
+        return inBase_ + rng_.below(elements) * unit;
+      case Pattern::triangular: {
+        // Factorization-style: half the accesses re-read a recent
+        // 64 KiB window (high locality), half stream forward.
+        if (k > 0 && rng_.chance(0.5)) {
+            std::uint64_t window = std::min<std::uint64_t>(
+                64 * 1024, k * unit);
+            std::uint64_t back = rng_.below(window / unit + 1);
+            std::uint64_t pos = k * unit - back * unit;
+            return inBase_ + pos;
+        }
+        return inBase_ + k * unit;
+      }
+    }
+    panic("unreachable pattern");
+}
+
+void
+PolybenchTraceSource::refill()
+{
+    const std::uint32_t unit = cfg_.accessBytes;
+    if (loadOffset_ >= inSize_) {
+        // Input exhausted: flush the remaining output volume.
+        if (!flushed_) {
+            while (storeOffset_ < outSize_) {
+                staged_.push_back(accel::TraceItem::storeOf(
+                    outBase_ + storeOffset_ % outSize_, unit));
+                storeOffset_ += unit;
+            }
+            flushed_ = true;
+        }
+        return;
+    }
+
+    std::uint64_t k = loadOffset_ / unit;
+    std::uint32_t loads = 1;
+    staged_.push_back(accel::TraceItem::loadOf(loadAddr(k), unit));
+
+    if (cfg_.spec.pattern == Pattern::stencil && (k & 1) == 0) {
+        // Neighbourhood rows: usually L2 hits (the row above was
+        // streamed recently; the row below warms future elements).
+        std::uint64_t addr = inBase_ + k * unit;
+        std::uint64_t up = addr >= inBase_ + cfg_.rowBytes
+                               ? addr - cfg_.rowBytes
+                               : inBase_;
+        std::uint64_t down =
+            std::min(addr + cfg_.rowBytes,
+                     inBase_ + inSize_ - unit);
+        staged_.push_back(accel::TraceItem::loadOf(up, unit));
+        staged_.push_back(accel::TraceItem::loadOf(down, unit));
+        loads = 3;
+    }
+    loadOffset_ += unit;
+
+    std::uint64_t ops = std::max<std::uint64_t>(
+        1, std::uint64_t(cfg_.spec.opsPerByte * double(unit) *
+                         double(loads)));
+    staged_.push_back(accel::TraceItem::computeOf(ops));
+
+    // Pace stores so store bytes / load bytes == out / in.
+    storeDebt_ +=
+        double(unit) * double(outSize_) / double(inSize_);
+    while (storeDebt_ >= double(unit)) {
+        staged_.push_back(accel::TraceItem::storeOf(
+            outBase_ + storeOffset_ % outSize_, unit));
+        storeOffset_ += unit;
+        storeDebt_ -= double(unit);
+    }
+}
+
+bool
+PolybenchTraceSource::next(accel::TraceItem &out)
+{
+    if (staged_.empty())
+        refill();
+    if (staged_.empty())
+        return false;
+    out = staged_.front();
+    staged_.pop_front();
+    return true;
+}
+
+} // namespace workload
+} // namespace dramless

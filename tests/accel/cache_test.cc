@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests of the set-associative cache model and the PSC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/cache.hh"
+#include "accel/psc.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace accel
+{
+namespace
+{
+
+CacheConfig
+tiny()
+{
+    // 4 sets x 2 ways x 64 B = 512 B.
+    return CacheConfig{512, 64, 2, 1};
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    SetAssocCache c(tiny(), "c");
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13F, false).hit); // same 64 B block
+    EXPECT_FALSE(c.access(0x140, false).hit);
+    EXPECT_EQ(c.cacheStats().hits, 2u);
+    EXPECT_EQ(c.cacheStats().misses, 2u);
+}
+
+TEST(CacheTest, LruVictimSelection)
+{
+    SetAssocCache c(tiny(), "c");
+    // Set index = (addr/64) % 4; 0x000, 0x100, 0x200 share set 0.
+    c.access(0x000, false);
+    c.access(0x100, false);
+    c.access(0x000, false);     // refresh 0x000
+    c.access(0x200, false);     // evicts 0x100 (LRU)
+    EXPECT_TRUE(c.contains(0x000));
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x200));
+}
+
+TEST(CacheTest, DirtyEvictionReportsWriteback)
+{
+    SetAssocCache c(tiny(), "c");
+    c.access(0x000, true); // dirty fill
+    c.access(0x100, false);
+    CacheAccessResult r = c.access(0x200, false); // evicts dirty 0x000
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddr, 0x000u);
+    EXPECT_EQ(c.cacheStats().writebacks, 1u);
+}
+
+TEST(CacheTest, NoAllocateLeavesCacheUntouched)
+{
+    SetAssocCache c(tiny(), "c");
+    CacheAccessResult r = c.access(0x300, true, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(c.contains(0x300));
+    // But a no-allocate hit still marks dirty.
+    c.access(0x300, false);
+    c.access(0x300, true, false);
+    c.access(0x340, false);
+    CacheAccessResult ev = c.access(0x380, false);
+    (void)ev; // different sets; just ensure no crash
+    EXPECT_TRUE(c.contains(0x300));
+}
+
+TEST(CacheTest, WriteHitMakesBlockDirty)
+{
+    SetAssocCache c(tiny(), "c");
+    c.access(0x000, false); // clean fill
+    c.access(0x000, true);  // dirty it
+    c.access(0x100, false);
+    CacheAccessResult r = c.access(0x200, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(CacheTest, InvalidateAllEmptiesCache)
+{
+    SetAssocCache c(tiny(), "c");
+    c.access(0x000, true);
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0x000));
+    EXPECT_FALSE(c.access(0x000, false).writeback);
+}
+
+TEST(CacheTest, BlockBaseAligns)
+{
+    SetAssocCache c(CacheConfig::l2Default(), "l2");
+    EXPECT_EQ(c.blockBase(2345), 2048u);
+    EXPECT_EQ(c.blockBase(1023), 0u);
+}
+
+TEST(CacheTest, DefaultsMatchPaperPlatform)
+{
+    // 64 KiB L1, 512 KiB L2 per PE (Section VI).
+    EXPECT_EQ(CacheConfig::l1Default().capacityBytes, 64u * 1024);
+    EXPECT_EQ(CacheConfig::l2Default().capacityBytes, 512u * 1024);
+    // L2 block matches 512 B per channel across two channels.
+    EXPECT_EQ(CacheConfig::l2Default().blockBytes, 1024u);
+}
+
+TEST(CacheTest, HitRateOnLoopedWorkingSet)
+{
+    SetAssocCache c(CacheConfig::l1Default(), "l1");
+    // A 32 KiB working set fits; loop it twice.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+            c.access(a, false);
+    // Second pass hits everywhere: 512 misses, 512 hits.
+    EXPECT_EQ(c.cacheStats().misses, 512u);
+    EXPECT_EQ(c.cacheStats().hits, 512u);
+}
+
+TEST(CacheDeathTest, RejectsBadGeometry)
+{
+    EXPECT_DEATH(SetAssocCache(CacheConfig{512, 48, 2, 1}, "x"),
+                 "power of two");
+    EXPECT_DEATH(SetAssocCache(CacheConfig{512, 64, 3, 1}, "x"),
+                 "mismatch");
+}
+
+TEST(PscTest, TracksResidency)
+{
+    PowerSleepController psc(2);
+    EXPECT_EQ(psc.state(1), PowerState::sleep);
+    psc.setState(1, PowerState::active, 100);
+    psc.setState(1, PowerState::sleep, 300);
+    EXPECT_EQ(psc.residency(1, PowerState::sleep, 400), 200u);
+    EXPECT_EQ(psc.residency(1, PowerState::active, 400), 200u);
+}
+
+TEST(PscTest, OpenIntervalCountsUntilQueryTick)
+{
+    PowerSleepController psc(1);
+    psc.setState(0, PowerState::active, 50);
+    EXPECT_EQ(psc.residency(0, PowerState::active, 150), 100u);
+    EXPECT_EQ(psc.residency(0, PowerState::sleep, 150), 50u);
+}
+
+TEST(PscDeathTest, RejectsBackwardsTransitions)
+{
+    PowerSleepController psc(1);
+    psc.setState(0, PowerState::active, 100);
+    EXPECT_DEATH(psc.setState(0, PowerState::sleep, 50), "before");
+}
+
+} // namespace
+} // namespace accel
+} // namespace dramless

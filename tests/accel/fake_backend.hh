@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fixed-latency MemoryBackend used by the accelerator unit tests.
+ */
+
+#ifndef DRAMLESS_TESTS_FAKE_BACKEND_HH
+#define DRAMLESS_TESTS_FAKE_BACKEND_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "accel/backend.hh"
+#include "accel/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace dramless
+{
+namespace accel
+{
+
+/** Completes reads/writes after fixed latencies. */
+class FakeBackend : public MemoryBackend
+{
+  public:
+    FakeBackend(EventQueue &eq, Tick read_latency, Tick write_latency,
+                std::uint32_t accept_limit = 1000000)
+        : eventq_(eq), readLatency_(read_latency),
+          writeLatency_(write_latency), acceptLimit_(accept_limit),
+          event_([this] { fire(); }, "fake.complete")
+    {}
+
+    void setCallback(Callback cb) override { cb_ = std::move(cb); }
+
+    bool
+    canAccept(std::uint32_t) const override
+    {
+        return pending_.size() < acceptLimit_;
+    }
+
+    std::uint64_t
+    submit(std::uint64_t addr, std::uint32_t size,
+           bool is_write) override
+    {
+        std::uint64_t id = nextId_++;
+        if (is_write) {
+            ++writes;
+            writtenBytes += size;
+        } else {
+            ++reads;
+            readBytes += size;
+        }
+        lastAddr = addr;
+        Tick when = eventq_.curTick() +
+                    (is_write ? writeLatency_ : readLatency_);
+        pending_[when].push_back(id);
+        eventq_.reschedule(&event_, pending_.begin()->first);
+        return id;
+    }
+
+    void
+    hintFutureWrite(std::uint64_t addr, std::uint64_t size) override
+    {
+        hints.emplace_back(addr, size);
+    }
+
+    std::uint64_t capacity() const override { return 1ull << 40; }
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writtenBytes = 0;
+    std::uint64_t lastAddr = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hints;
+
+  private:
+    void
+    fire()
+    {
+        Tick now = eventq_.curTick();
+        while (!pending_.empty() && pending_.begin()->first <= now) {
+            auto ids = std::move(pending_.begin()->second);
+            pending_.erase(pending_.begin());
+            for (auto id : ids) {
+                if (cb_)
+                    cb_(id, now);
+            }
+        }
+        if (!pending_.empty())
+            eventq_.reschedule(&event_, pending_.begin()->first);
+    }
+
+    EventQueue &eventq_;
+    Tick readLatency_;
+    Tick writeLatency_;
+    std::size_t acceptLimit_;
+    Callback cb_;
+    std::map<Tick, std::vector<std::uint64_t>> pending_;
+    std::uint64_t nextId_ = 1;
+    EventFunctionWrapper event_;
+};
+
+/** In-memory vector-backed trace source. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<TraceItem> items)
+        : items_(std::move(items))
+    {}
+
+    bool
+    next(TraceItem &out) override
+    {
+        if (pos_ >= items_.size())
+            return false;
+        out = items_[pos_++];
+        return true;
+    }
+
+    /** Restart from the beginning (reuse across launches). */
+    void rewind() { pos_ = 0; }
+
+  private:
+    std::vector<TraceItem> items_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace accel
+} // namespace dramless
+
+#endif // DRAMLESS_TESTS_FAKE_BACKEND_HH

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Unit and behavioural tests of the FPGA channel controller: request
+ * latency, phase skipping, scheduler policies, selective erasing,
+ * hazards and functional data integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "ctrl/channel_controller.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+namespace
+{
+
+/** Harness with completion capture. */
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    std::unique_ptr<ChannelController>
+    make(const SchedulerConfig &cfg, std::uint32_t modules = 4)
+    {
+        auto ctl = std::make_unique<ChannelController>(
+            eq, modules, pram::PramGeometry::paperDefault(),
+            pram::PramTiming::paperDefault(), cfg, "ch0");
+        ctl->setCallback([this](const MemResponse &resp) {
+            done[resp.id] = resp.completedAt;
+        });
+        return ctl;
+    }
+
+    /** Drain all events (including background zero-fills). */
+    void
+    runAll()
+    {
+        eq.run();
+    }
+
+    EventQueue eq;
+    std::map<std::uint64_t, Tick> done;
+};
+
+TEST_F(ChannelTest, SingleReadLatencyMatchesThreePhaseSum)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 0;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    runAll();
+    ASSERT_TRUE(done.count(id));
+    // pre-active (7.5) + tRCD (80) + RL+tDQSCK (19) + BL16 (40), with
+    // command-cycle offsets of one tCK between phases.
+    Tick lat = done[id];
+    EXPECT_GE(lat, fromNs(140));
+    EXPECT_LE(lat, fromNs(160));
+    EXPECT_EQ(ctl->ctrlStats().readRequests, 1u);
+    EXPECT_EQ(ctl->ctrlStats().readWords, 1u);
+}
+
+TEST_F(ChannelTest, WriteIsOverwriteLatencyOnUntouchedWord)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 64;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    runAll();
+    ASSERT_TRUE(done.count(id));
+    // Durable completion includes the 18 us RESET+SET overwrite.
+    EXPECT_GE(done[id], fromUs(18));
+    EXPECT_LE(done[id], fromUs(19));
+}
+
+TEST_F(ChannelTest, RepeatedReadHitsRowBuffersAndSkipsPhases)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 128;
+    req.size = 32;
+    std::uint64_t id1 = ctl->enqueue(req);
+    runAll();
+    Tick first = done[id1];
+    std::uint64_t id2 = ctl->enqueue(req);
+    runAll();
+    Tick second_lat = done[id2] - first;
+    // The second read finds both the RAB and the RDB holding the row:
+    // no pre-active, no activate, just the read phase.
+    EXPECT_GE(ctl->ctrlStats().preActivesSkipped, 1u);
+    EXPECT_GE(ctl->ctrlStats().activatesSkipped, 1u);
+    EXPECT_LT(second_lat, fromNs(70));
+}
+
+TEST_F(ChannelTest, FunctionalWriteThenTimedReadBack)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    std::vector<std::uint8_t> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(i * 7 + 1);
+    ctl->functionalWrite(256, data.data(), data.size());
+
+    std::vector<std::uint8_t> out(64, 0);
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 256;
+    req.size = 64;
+    req.readInto = out.data();
+    ctl->enqueue(req);
+    runAll();
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(ChannelTest, TimedWriteThenTimedReadBack)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    std::vector<std::uint8_t> data(128);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::uint8_t(200 - i);
+    MemRequest wr;
+    wr.kind = ReqKind::write;
+    wr.addr = 1024;
+    wr.size = 128;
+    wr.writeFrom = data.data();
+    ctl->enqueue(wr);
+
+    std::vector<std::uint8_t> out(128, 0);
+    MemRequest rd;
+    rd.kind = ReqKind::read;
+    rd.addr = 1024;
+    rd.size = 128;
+    rd.readInto = out.data();
+    ctl->enqueue(rd); // must observe the older write (RAW hazard)
+    runAll();
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(ChannelTest, WordsSpreadAcrossModules)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 4);
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 0;
+    req.size = 4 * 32;
+    ctl->enqueue(req);
+    runAll();
+    for (std::uint32_t m = 0; m < 4; ++m)
+        EXPECT_EQ(ctl->module(m).moduleStats().numReadBursts, 1u)
+            << "module " << m;
+}
+
+TEST_F(ChannelTest, InterleavingOutperformsBareMetalOnPartitionedReads)
+{
+    // Many reads to the same module, different partitions: the
+    // multi-resource aware interleaving overlaps tRCD with bursts.
+    auto run_with = [&](const SchedulerConfig &cfg) {
+        EventQueue local_eq;
+        auto ctl = std::make_unique<ChannelController>(
+            local_eq, 1, pram::PramGeometry::paperDefault(),
+            pram::PramTiming::paperDefault(), cfg, "ch");
+        Tick last = 0;
+        ctl->setCallback([&](const MemResponse &resp) {
+            last = std::max(last, resp.completedAt);
+        });
+        for (int i = 0; i < 32; ++i) {
+            MemRequest req;
+            req.kind = ReqKind::read;
+            req.addr = std::uint64_t(i) * 32; // partition i % 16
+            req.size = 32;
+            ctl->enqueue(req);
+        }
+        local_eq.run();
+        return last;
+    };
+    Tick bare = run_with(SchedulerConfig::bareMetal());
+    Tick inter = run_with(SchedulerConfig::interleavingOnly());
+    EXPECT_LT(inter, bare);
+    // Section V-A: interleaving hides ~40% of the access latency.
+    double gain = double(bare - inter) / double(bare);
+    EXPECT_GT(gain, 0.25);
+}
+
+TEST_F(ChannelTest, SelectiveErasingTurnsOverwritesIntoSetOnly)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 1);
+    // Hint the future write region, then let the controller pre-RESET
+    // it while idle.
+    ctl->hintFutureWrite(0, 4 * 32);
+    runAll();
+    EXPECT_EQ(ctl->ctrlStats().zeroFillPrograms, 4u);
+    for (std::uint64_t w = 0; w < 4; ++w)
+        EXPECT_TRUE(ctl->module(0).wordIsPristine(w));
+    // The final zero-fill's cell program may still be in flight (it
+    // is busy-state, not an event); let it drain.
+    eq.runUntil(ctl->module(0).programBusyUntil());
+
+    // Demand writes now take the 10 us SET-only path.
+    Tick start = eq.curTick();
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    runAll();
+    Tick lat = done[id] - start;
+    EXPECT_GE(lat, fromUs(10));
+    EXPECT_LT(lat, fromUs(12));
+    EXPECT_EQ(ctl->module(0).moduleStats().numPristinePrograms, 1u);
+}
+
+TEST_F(ChannelTest, ZeroFillCancelledByDemandWrite)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 1);
+    ctl->hintFutureWrite(0, 32);
+    // The demand write arrives before the controller had any idle
+    // time: the hint must be discarded, not applied after the write.
+    std::vector<std::uint8_t> data(32, 0xEE);
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    req.writeFrom = data.data();
+    ctl->enqueue(req);
+    runAll();
+    EXPECT_EQ(ctl->ctrlStats().zeroFillPrograms, 0u);
+    std::vector<std::uint8_t> out(32, 0);
+    ctl->functionalRead(0, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(ChannelTest, ZeroFillNeverRunsOnReadData)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 1);
+    std::vector<std::uint8_t> data(32, 0x42);
+    ctl->functionalWrite(0, data.data(), data.size());
+    // A demand read marks the word live before the hint lands.
+    MemRequest rd;
+    rd.kind = ReqKind::read;
+    rd.addr = 0;
+    rd.size = 32;
+    ctl->enqueue(rd);
+    ctl->hintFutureWrite(0, 32);
+    runAll();
+    std::vector<std::uint8_t> out(32, 0);
+    ctl->functionalRead(0, out.data(), out.size());
+    EXPECT_EQ(out, data); // still intact
+}
+
+TEST_F(ChannelTest, BareMetalServesFifoPerModule)
+{
+    auto ctl = make(SchedulerConfig::bareMetal(), 1);
+    std::vector<std::uint64_t> order;
+    ctl->setCallback([&](const MemResponse &resp) {
+        order.push_back(resp.id);
+    });
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 8; ++i) {
+        MemRequest req;
+        req.kind = ReqKind::read;
+        req.addr = std::uint64_t(i) * 32;
+        req.size = 32;
+        ids.push_back(ctl->enqueue(req));
+    }
+    runAll();
+    EXPECT_EQ(order, ids);
+}
+
+TEST_F(ChannelTest, CanAcceptHonoursQueueLimit)
+{
+    SchedulerConfig cfg = SchedulerConfig::finalConfig();
+    cfg.maxQueuePerModule = 2;
+    auto ctl = make(cfg, 1);
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    EXPECT_TRUE(ctl->canAccept(req));
+    ctl->enqueue(req);
+    req.addr = 32;
+    ctl->enqueue(req);
+    req.addr = 64;
+    EXPECT_FALSE(ctl->canAccept(req));
+    runAll();
+    EXPECT_TRUE(ctl->canAccept(req));
+}
+
+TEST_F(ChannelTest, CapacityExcludesOverlayWindow)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 2);
+    std::uint64_t module_bytes =
+        pram::PramGeometry::paperDefault().moduleBytes();
+    EXPECT_LT(ctl->capacity(), 2 * module_bytes);
+    EXPECT_GT(ctl->capacity(), 2 * (module_bytes - 4096));
+}
+
+TEST_F(ChannelTest, MixedRandomTrafficFunctionalIntegrity)
+{
+    auto ctl = make(SchedulerConfig::finalConfig(), 4);
+    Random rng(2024);
+    constexpr std::uint64_t span_words = 64;
+    std::vector<std::uint8_t> shadow(span_words * 32, 0);
+    ctl->functionalWrite(0, shadow.data(), shadow.size());
+
+    std::vector<std::vector<std::uint8_t>> bufs;
+    bufs.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t word = rng.below(span_words);
+        std::uint32_t words =
+            std::uint32_t(rng.between(1, 4));
+        if (word + words > span_words)
+            words = std::uint32_t(span_words - word);
+        bool is_write = rng.chance(0.5);
+        MemRequest req;
+        req.addr = word * 32;
+        req.size = words * 32;
+        if (is_write) {
+            bufs.emplace_back(req.size);
+            for (auto &b : bufs.back())
+                b = std::uint8_t(rng.next());
+            std::memcpy(shadow.data() + req.addr,
+                        bufs.back().data(), req.size);
+            req.kind = ReqKind::write;
+            req.writeFrom = bufs.back().data();
+        } else {
+            req.kind = ReqKind::read;
+        }
+        ctl->enqueue(req);
+        if (i % 10 == 9)
+            runAll(); // drain periodically to vary queue depths
+    }
+    runAll();
+    std::vector<std::uint8_t> out(shadow.size(), 0);
+    ctl->functionalRead(0, out.data(), out.size());
+    EXPECT_EQ(out, shadow);
+}
+
+TEST_F(ChannelTest, RdbPrefetchWarmsSequentialReads)
+{
+    SchedulerConfig cfg = SchedulerConfig::finalConfig();
+    cfg.rdbPrefetch = true;
+    auto ctl = make(cfg, 1);
+
+    // A first sequential read seeds the predictor; after the module
+    // idles, the next row is speculatively sensed.
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 0;
+    req.size = 32;
+    ctl->enqueue(req);
+    runAll();
+    EXPECT_GE(ctl->ctrlStats().prefetchActivates, 1u);
+
+    // The prefetched row serves the next demand read with both
+    // addressing phases skipped: latency is just the read phase.
+    Tick t0 = eq.curTick();
+    req.addr = 32 * 16; // module word 1 (16 modules... 1 module here)
+    req.addr = 32;      // single-module channel: next module word
+    std::uint64_t id = ctl->enqueue(req);
+    runAll();
+    (void)id;
+    Tick lat = eq.curTick() - t0;
+    // Either a fully-warm RDB hit (~60 ns) or a short wait for the
+    // in-flight sense plus the read phase — far below the ~150 ns
+    // full three-phase access.
+    EXPECT_LT(lat, fromNs(110));
+    EXPECT_GE(ctl->ctrlStats().activatesSkipped, 1u);
+}
+
+TEST_F(ChannelTest, PrefetchNeverCorruptsFunctionalData)
+{
+    SchedulerConfig cfg = SchedulerConfig::finalConfig();
+    cfg.rdbPrefetch = true;
+    auto ctl = make(cfg, 2);
+    Random rng(55);
+    std::vector<std::uint8_t> shadow(64 * 32);
+    for (auto &b : shadow)
+        b = std::uint8_t(rng.next());
+    ctl->functionalWrite(0, shadow.data(), shadow.size());
+    std::vector<std::uint8_t> out(shadow.size(), 0);
+    // Sequential reads with functional capture, prefetch racing ahead.
+    for (std::uint64_t w = 0; w < 64; w += 2) {
+        MemRequest req;
+        req.kind = ReqKind::read;
+        req.addr = w * 32;
+        req.size = 64;
+        req.readInto = out.data() + w * 32;
+        ctl->enqueue(req);
+        if (w % 8 == 6)
+            runAll();
+    }
+    runAll();
+    EXPECT_EQ(out, shadow);
+}
+
+TEST_F(ChannelTest, DeathOnMalformedRequests)
+{
+    auto ctl = make(SchedulerConfig::finalConfig());
+    MemRequest req;
+    req.kind = ReqKind::read;
+    req.addr = 0;
+    req.size = 31;
+    EXPECT_DEATH(ctl->enqueue(req), "multiple");
+    req.size = 32;
+    req.addr = 16;
+    EXPECT_DEATH(ctl->enqueue(req), "misaligned");
+    req.addr = ctl->capacity();
+    EXPECT_DEATH(ctl->enqueue(req), "beyond capacity");
+}
+
+} // namespace
+} // namespace ctrl
+} // namespace dramless

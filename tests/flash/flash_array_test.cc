@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests of media timing presets and the flash array resource
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/flash_device.hh"
+
+namespace dramless
+{
+namespace flash
+{
+namespace
+{
+
+TEST(FlashTimingTest, TableOnePresets)
+{
+    FlashTiming slc = FlashTiming::slc();
+    EXPECT_EQ(slc.readLatency, fromUs(25));
+    EXPECT_EQ(slc.programLatency, fromUs(300));
+    EXPECT_EQ(slc.eraseLatency, fromUs(2000));
+    EXPECT_EQ(slc.pageBytes, 16384u);
+
+    FlashTiming mlc = FlashTiming::mlc();
+    EXPECT_EQ(mlc.readLatency, fromUs(50));
+    EXPECT_EQ(mlc.programLatency, fromUs(800));
+    EXPECT_EQ(mlc.eraseLatency, fromUs(3500));
+
+    FlashTiming tlc = FlashTiming::tlc();
+    EXPECT_EQ(tlc.readLatency, fromUs(80));
+    EXPECT_EQ(tlc.programLatency, fromUs(1250));
+    EXPECT_EQ(tlc.eraseLatency, fromUs(2274));
+
+    FlashTiming opt = FlashTiming::optane();
+    EXPECT_EQ(opt.pageBytes, 4096u);
+    EXPECT_EQ(opt.eraseLatency, 0u);
+    // Byte-granular serialization: PRAM sectors program slower than
+    // their word latency suggests, but read far faster than NAND.
+    EXPECT_LT(opt.readLatency, slc.readLatency);
+    EXPECT_LT(opt.programLatency, slc.programLatency);
+
+    FlashTiming pp = FlashTiming::pagePram();
+    EXPECT_EQ(pp.pageBytes, 16384u);
+    EXPECT_LT(pp.readLatency, slc.readLatency);
+    EXPECT_TRUE(slc.valid());
+    EXPECT_TRUE(opt.valid());
+    EXPECT_TRUE(pp.valid());
+}
+
+TEST(FlashArrayTest, ReadLatencyIsSensePlusTransfer)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick done = arr.readPage({0, 0, 0});
+    EXPECT_EQ(done,
+              cfg.media.readLatency + arr.pageTransferTicks());
+    EXPECT_EQ(arr.arrayStats().pageReads, 1u);
+}
+
+TEST(FlashArrayTest, SameDieReadsSerialize)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick a = arr.readPage({0, 0, 0});
+    Tick b = arr.readPage({0, 0, 1});
+    // The second sense waits for the first; transfers also serialize.
+    EXPECT_GE(b, a + cfg.media.readLatency);
+}
+
+TEST(FlashArrayTest, DifferentDiesOverlapSenses)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick a = arr.readPage({0, 0, 0});
+    Tick b = arr.readPage({1, 0, 0}); // same channel, other die
+    // Senses overlap; only the channel transfer serializes.
+    EXPECT_LT(b, a + cfg.media.readLatency);
+    EXPECT_GE(b, a + arr.pageTransferTicks());
+}
+
+TEST(FlashArrayTest, DifferentChannelsFullyParallel)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick a = arr.readPage({0, 0, 0});
+    std::uint32_t other = cfg.diesPerChannel; // first die of channel 1
+    Tick b = arr.readPage({other, 0, 0});
+    EXPECT_EQ(a, b);
+}
+
+TEST(FlashArrayTest, ProgramTransfersThenPrograms)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick done = arr.programPage({0, 0, 0});
+    EXPECT_EQ(done,
+              arr.pageTransferTicks() + cfg.media.programLatency);
+    EXPECT_EQ(arr.arrayStats().pagePrograms, 1u);
+}
+
+TEST(FlashArrayTest, EraseOccupiesDie)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick done = arr.eraseBlock(0, 0);
+    EXPECT_EQ(done, cfg.media.eraseLatency);
+    Tick read_done = arr.readPage({0, 1, 0});
+    EXPECT_GE(read_done, done + cfg.media.readLatency);
+}
+
+TEST(FlashArrayTest, EarliestParameterDefersStart)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    Tick done = arr.readPage({0, 0, 0}, fromUs(100));
+    EXPECT_EQ(done, fromUs(100) + cfg.media.readLatency +
+                        arr.pageTransferTicks());
+}
+
+TEST(FlashArrayTest, CapacityArithmetic)
+{
+    FlashArrayConfig cfg;
+    cfg.channels = 2;
+    cfg.diesPerChannel = 2;
+    cfg.blocksPerDie = 10;
+    cfg.pagesPerBlock = 4;
+    EXPECT_EQ(cfg.numDies(), 4u);
+    EXPECT_EQ(cfg.capacityBytes(),
+              4ull * 10 * 4 * cfg.media.pageBytes);
+}
+
+TEST(FlashArrayDeathTest, OutOfRangePanics)
+{
+    EventQueue eq;
+    FlashArrayConfig cfg;
+    FlashArray arr(eq, cfg, "arr");
+    EXPECT_DEATH(arr.readPage({cfg.numDies(), 0, 0}), "out of range");
+    EXPECT_DEATH(arr.eraseBlock(0, cfg.blocksPerDie),
+                 "block out of range");
+}
+
+} // namespace
+} // namespace flash
+} // namespace dramless

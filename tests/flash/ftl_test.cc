@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests of the page-mapped FTL: mapping, log-structured writes,
+ * garbage collection and write amplification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/ftl.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace flash
+{
+namespace
+{
+
+FlashArrayConfig
+tinyArray()
+{
+    FlashArrayConfig cfg;
+    cfg.channels = 1;
+    cfg.diesPerChannel = 2;
+    cfg.blocksPerDie = 8;
+    cfg.pagesPerBlock = 8;
+    return cfg;
+}
+
+class FtlTest : public ::testing::Test
+{
+  protected:
+    FtlTest()
+        : arr(eq, tinyArray(), "arr"),
+          ftl(arr, FtlConfig{0.25, 2}, "ftl")
+    {}
+
+    EventQueue eq;
+    FlashArray arr;
+    Ftl ftl;
+};
+
+TEST_F(FtlTest, LogicalCapacityReflectsOverProvision)
+{
+    // 2 dies x 8 blocks x 8 pages = 128 physical pages; 25% OP.
+    EXPECT_EQ(ftl.logicalPages(), 96u);
+    EXPECT_EQ(ftl.logicalBytes(), 96u * 16384u);
+}
+
+TEST_F(FtlTest, PopulateMapsWithoutTiming)
+{
+    EXPECT_FALSE(ftl.isMapped(5));
+    ftl.populate(5);
+    EXPECT_TRUE(ftl.isMapped(5));
+    EXPECT_EQ(arr.arrayStats().pagePrograms, 0u);
+}
+
+TEST_F(FtlTest, ReadAutoPopulatesColdData)
+{
+    Tick done = ftl.readPage(7, 0);
+    EXPECT_TRUE(ftl.isMapped(7));
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ftl.ftlStats().hostPagesRead, 1u);
+}
+
+TEST_F(FtlTest, WriteRemapsAndInvalidatesOldCopy)
+{
+    ftl.populate(3);
+    Tick t1 = ftl.writePage(3, 0);
+    EXPECT_GT(t1, 0u);
+    EXPECT_TRUE(ftl.isMapped(3));
+    EXPECT_EQ(ftl.ftlStats().hostPagesWritten, 1u);
+    // Overwriting again keeps exactly one valid copy.
+    ftl.writePage(3, t1);
+    EXPECT_EQ(ftl.ftlStats().hostPagesWritten, 2u);
+}
+
+TEST_F(FtlTest, SustainedOverwriteTriggersGc)
+{
+    // Hammer a small logical set until the log wraps and GC must run.
+    Tick t = 0;
+    for (int round = 0; round < 30; ++round) {
+        for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
+            t = ftl.writePage(lpn, t);
+    }
+    EXPECT_GT(ftl.ftlStats().gcRuns, 0u);
+    EXPECT_GT(ftl.ftlStats().blocksErased, 0u);
+    EXPECT_GE(ftl.ftlStats().writeAmplification(), 1.0);
+    // All logical pages must still be mapped after collection.
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
+        EXPECT_TRUE(ftl.isMapped(lpn));
+}
+
+TEST_F(FtlTest, HotColdWorkloadHasModerateWriteAmplification)
+{
+    // Fill half the logical space once, then rewrite a hot subset.
+    Tick t = 0;
+    for (std::uint64_t lpn = 0; lpn < ftl.logicalPages() / 2; ++lpn)
+        ftl.populate(lpn);
+    Random rng(5);
+    for (int i = 0; i < 400; ++i)
+        t = ftl.writePage(rng.below(16), t);
+    double wa = ftl.ftlStats().writeAmplification();
+    EXPECT_GE(wa, 1.0);
+    EXPECT_LT(wa, 6.0);
+}
+
+TEST_F(FtlTest, GcPreservesAllMappingsProperty)
+{
+    // Random writes; mappings must stay injective and complete.
+    Random rng(77);
+    Tick t = 0;
+    for (int i = 0; i < 600; ++i) {
+        std::uint64_t lpn = rng.below(32);
+        t = ftl.writePage(lpn, t);
+    }
+    int mapped = 0;
+    for (std::uint64_t lpn = 0; lpn < 32; ++lpn)
+        mapped += ftl.isMapped(lpn) ? 1 : 0;
+    EXPECT_EQ(mapped, 32);
+}
+
+TEST_F(FtlTest, WriteTimingIncludesProgramLatency)
+{
+    Tick done = ftl.writePage(0, 0);
+    EXPECT_GE(done, tinyArray().media.programLatency);
+}
+
+TEST(FtlDeathTest, RejectsBadConfigAndRange)
+{
+    EventQueue eq;
+    FlashArray arr(eq, tinyArray(), "arr");
+    EXPECT_DEATH(Ftl(arr, FtlConfig{0.0, 2}, "bad"),
+                 "out of range");
+    Ftl ftl(arr, FtlConfig{0.25, 2}, "ftl");
+    EXPECT_DEATH(ftl.readPage(ftl.logicalPages(), 0),
+                 "lpn out of range");
+}
+
+} // namespace
+} // namespace flash
+} // namespace dramless

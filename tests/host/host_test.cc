@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests of the host-side models: software stack costs and the
+ * PCIe link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/pcie.hh"
+#include "host/software_stack.hh"
+
+namespace dramless
+{
+namespace host
+{
+namespace
+{
+
+TEST(StackTest, ReadPathScalesWithBytesAndRequests)
+{
+    SoftwareStack stack(StackConfig::conventional(), "s");
+    Tick small = stack.readPathCost(4096);
+    Tick big = stack.readPathCost(1 << 20);
+    EXPECT_GT(big, small);
+    // 1 MiB = 8 x 128 KiB I/O requests worth of syscall+block cost.
+    StackConfig cfg = StackConfig::conventional();
+    Tick expected_sw = 8 * (cfg.syscallOverhead +
+                            cfg.blockLayerPerRequest);
+    EXPECT_GE(big, expected_sw);
+    EXPECT_EQ(stack.stackStats().ioRequests, 1u + 8u);
+    EXPECT_EQ(stack.stackStats().bytesMoved, 4096u + (1u << 20));
+}
+
+TEST(StackTest, ReadPathIncludesDeserialization)
+{
+    SoftwareStack stack(StackConfig::conventional(), "s");
+    // Deserialization applies to reads, not writes.
+    Tick rd = stack.readPathCost(1 << 20);
+    Tick wr = stack.writePathCost(1 << 20);
+    EXPECT_GT(rd, wr);
+    StackConfig cfg = StackConfig::conventional();
+    Tick deser = Tick(double(1 << 20) /
+                      cfg.deserializeBytesPerSec * 1e12);
+    EXPECT_NEAR(double(rd - wr), double(deser), double(deser) * 0.01);
+}
+
+TEST(StackTest, PeerToPeerSkipsCopiesAndDeserialization)
+{
+    SoftwareStack conv(StackConfig::conventional(), "c");
+    SoftwareStack p2p(StackConfig::peerToPeer(), "p");
+    Tick tc = conv.readPathCost(1 << 20);
+    Tick tp = p2p.readPathCost(1 << 20);
+    // The p2p control plane is at least 5x cheaper per byte.
+    EXPECT_LT(tp * 5, tc);
+}
+
+TEST(StackTest, CpuBusyAccumulates)
+{
+    SoftwareStack stack(StackConfig::conventional(), "s");
+    Tick a = stack.readPathCost(65536);
+    Tick b = stack.dmaSetupCost();
+    Tick c = stack.writePathCost(65536);
+    EXPECT_EQ(stack.stackStats().cpuBusyTicks, a + b + c);
+}
+
+TEST(PcieTest, TransferTimeIsLatencyPlusBandwidth)
+{
+    EventQueue eq;
+    PcieConfig cfg;
+    PcieLink link(eq, cfg, "pcie");
+    Tick done = link.transfer(1 << 20);
+    Tick expect = cfg.perTransferLatency +
+                  Tick(double(1 << 20) / cfg.bytesPerSec * 1e12);
+    EXPECT_EQ(done, expect);
+    EXPECT_EQ(link.pcieStats().transfers, 1u);
+    EXPECT_EQ(link.pcieStats().bytes, 1u << 20);
+}
+
+TEST(PcieTest, LinkIsASerialResource)
+{
+    EventQueue eq;
+    PcieLink link(eq, PcieConfig{}, "pcie");
+    Tick a = link.transfer(1 << 20);
+    Tick b = link.transfer(1 << 20);
+    EXPECT_GE(b, 2 * a - 1);
+    EXPECT_EQ(link.busyUntil(), b);
+}
+
+TEST(PcieTest, EarliestParameterDefersTransfer)
+{
+    EventQueue eq;
+    PcieLink link(eq, PcieConfig{}, "pcie");
+    Tick done = link.transfer(4096, fromUs(100));
+    EXPECT_GT(done, fromUs(100));
+}
+
+TEST(PcieDeathTest, EmptyTransferPanics)
+{
+    EventQueue eq;
+    PcieLink link(eq, PcieConfig{}, "pcie");
+    EXPECT_DEATH(link.transfer(0), "empty transfer");
+}
+
+} // namespace
+} // namespace host
+} // namespace dramless

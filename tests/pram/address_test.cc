@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit and property tests of PRAM geometry and address decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pram/address.hh"
+#include "pram/geometry.hh"
+#include "pram/pram_module.hh"
+#include "pram/timing.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace pram
+{
+namespace
+{
+
+TEST(GeometryTest, PaperDefaultCapacity)
+{
+    PramGeometry g = PramGeometry::paperDefault();
+    EXPECT_TRUE(g.valid());
+    // 64 tiles x 2048 BL x 4096 WL bits = 64 MiB per partition.
+    EXPECT_EQ(g.partitionBytes(), 64ull << 20);
+    // 16 partitions = 1 GiB per module.
+    EXPECT_EQ(g.moduleBytes(), 1ull << 30);
+    EXPECT_EQ(g.rowsPerPartition(), (64ull << 20) / 32);
+}
+
+TEST(GeometryTest, InvalidConfigurationsDetected)
+{
+    PramGeometry g;
+    g.partitionsPerBank = 0;
+    EXPECT_FALSE(g.valid());
+    g = PramGeometry{};
+    g.rowBufferBytes = 24; // not a power of two
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(TimingTest, PaperDefaultSanity)
+{
+    PramTiming t = PramTiming::paperDefault();
+    EXPECT_TRUE(t.valid());
+    EXPECT_EQ(t.tCK, fromNs(2.5));
+    EXPECT_EQ(t.preActiveTime(), fromNs(7.5));      // 3 cycles
+    EXPECT_EQ(t.readPreamble(), fromNs(15 + 4));    // RL=6 + tDQSCK
+    EXPECT_EQ(t.writePreamble(), fromNs(7.5 + 1));  // WL=3 + tDQSS
+    EXPECT_EQ(t.burstTime(BurstLength::BL16), fromNs(40));
+    // Overwrite carries the extra 8 us RESET train (Section VI).
+    EXPECT_EQ(t.cellOverwrite - t.cellProgram, fromUs(8));
+}
+
+TEST(TimingTest, PaperReadLatencyIsAboutHundredNs)
+{
+    // Section VI: read latency ~100 ns including three-phase
+    // addressing (RL, tRCD, tRP and tBURST).
+    PramTiming t;
+    Tick total = t.preActiveTime() + t.tRCD + t.readPreamble() +
+                 t.burstTime(BurstLength::BL16);
+    EXPECT_GE(total, fromNs(100));
+    EXPECT_LE(total, fromNs(160));
+}
+
+TEST(AddressTest, DecomposeComposeIdentityExhaustiveSmall)
+{
+    PramGeometry g;
+    g.tilesPerPartition = 1;
+    g.wordlinesPerTile = 64;
+    g.bitlinesPerTile = 2048;
+    g.partitionsPerBank = 4;
+    g.lowerRowBits = 3;
+    ASSERT_TRUE(g.valid());
+    AddressDecomposer dec(g);
+    for (std::uint64_t addr = 0; addr < g.moduleBytes(); ++addr) {
+        DecomposedAddress d = dec.decompose(addr);
+        EXPECT_LT(d.partition, g.partitionsPerBank);
+        EXPECT_LT(d.column, g.rowBufferBytes);
+        EXPECT_EQ(dec.compose(d.partition, d.row, d.column), addr);
+        EXPECT_EQ(dec.mergeRow(d.upperRow, d.lowerRow), d.row);
+    }
+}
+
+TEST(AddressTest, ConsecutiveWordsInterleavePartitions)
+{
+    PramGeometry g;
+    AddressDecomposer dec(g);
+    for (std::uint32_t w = 0; w < 64; ++w) {
+        DecomposedAddress d =
+            dec.decompose(std::uint64_t(w) * g.rowBufferBytes);
+        EXPECT_EQ(d.partition, w % g.partitionsPerBank);
+        EXPECT_EQ(d.row, w / g.partitionsPerBank);
+    }
+}
+
+TEST(AddressTest, RandomRoundTripFullGeometry)
+{
+    PramGeometry g;
+    AddressDecomposer dec(g);
+    Random rng(123);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t addr = rng.below(g.moduleBytes());
+        DecomposedAddress d = dec.decompose(addr);
+        EXPECT_EQ(dec.compose(d.partition, d.row, d.column), addr);
+        EXPECT_EQ(dec.mergeRow(d.upperRow, d.lowerRow), d.row);
+        EXPECT_EQ(d.lowerRow,
+                  d.row & ((1ull << g.lowerRowBits) - 1));
+    }
+}
+
+TEST(AddressDeathTest, OutOfRangePanics)
+{
+    PramGeometry g;
+    AddressDecomposer dec(g);
+    EXPECT_DEATH(dec.decompose(g.moduleBytes()), "beyond module");
+}
+
+TEST(BurstTest, BurstForBytesPicksSmallestCover)
+{
+    EXPECT_EQ(burstForBytes(1), BurstLength::BL4);
+    EXPECT_EQ(burstForBytes(8), BurstLength::BL4);
+    EXPECT_EQ(burstForBytes(9), BurstLength::BL8);
+    EXPECT_EQ(burstForBytes(16), BurstLength::BL8);
+    EXPECT_EQ(burstForBytes(17), BurstLength::BL16);
+    EXPECT_EQ(burstForBytes(32), BurstLength::BL16);
+}
+
+TEST(BurstDeathTest, RejectsZeroAndOversize)
+{
+    EXPECT_DEATH(burstForBytes(0), "zero-length");
+    EXPECT_DEATH(burstForBytes(33), "longer than one row buffer");
+}
+
+} // namespace
+} // namespace pram
+} // namespace dramless

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Parameterized property tests over PRAM geometries: address
+ * decomposition bijectivity and module protocol invariants must
+ * hold for every layout, not just the paper's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+
+#include "pram/pram_module.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace pram
+{
+namespace
+{
+
+/** (partitions, tiles, wordlines, rowBuffers, lowerRowBits). */
+using GeomParam =
+    std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+               std::uint32_t, std::uint32_t>;
+
+PramGeometry
+geometryOf(const GeomParam &p)
+{
+    PramGeometry g;
+    g.partitionsPerBank = std::get<0>(p);
+    g.tilesPerPartition = std::get<1>(p);
+    g.wordlinesPerTile = std::get<2>(p);
+    g.numRowBuffers = std::get<3>(p);
+    g.lowerRowBits = std::get<4>(p);
+    return g;
+}
+
+class GeometryParamTest : public ::testing::TestWithParam<GeomParam>
+{
+};
+
+TEST_P(GeometryParamTest, GeometryIsValid)
+{
+    EXPECT_TRUE(geometryOf(GetParam()).valid());
+}
+
+TEST_P(GeometryParamTest, DecomposeComposeBijective)
+{
+    PramGeometry g = geometryOf(GetParam());
+    AddressDecomposer dec(g);
+    Random rng(std::get<0>(GetParam()) * 31 +
+               std::get<3>(GetParam()));
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t addr = rng.below(g.moduleBytes());
+        DecomposedAddress d = dec.decompose(addr);
+        EXPECT_LT(d.partition, g.partitionsPerBank);
+        EXPECT_EQ(dec.compose(d.partition, d.row, d.column), addr);
+        EXPECT_EQ(dec.mergeRow(d.upperRow, d.lowerRow), d.row);
+    }
+}
+
+TEST_P(GeometryParamTest, ProtocolReadWorksOnEveryRowBuffer)
+{
+    PramGeometry g = geometryOf(GetParam());
+    EventQueue eq;
+    PramModule mod(eq, g, PramTiming::paperDefault(), "mod");
+    for (std::uint32_t ba = 0; ba < g.numRowBuffers; ++ba) {
+        std::uint64_t addr =
+            std::uint64_t(ba) * g.rowBufferBytes * 7;
+        std::array<std::uint8_t, 32> pattern;
+        pattern.fill(std::uint8_t(ba + 1));
+        mod.functionalWrite(addr, pattern.data(), 32);
+
+        DecomposedAddress d = mod.decomposer().decompose(addr);
+        eq.runUntil(mod.preActive(ba, d.upperRow, d.partition));
+        eq.runUntil(mod.activate(ba, d.lowerRow));
+        std::array<std::uint8_t, 32> out{};
+        BurstTiming bt = mod.readBurst(ba, 0, 32, out.data());
+        eq.runUntil(bt.lastData);
+        EXPECT_EQ(out, pattern) << "row buffer " << ba;
+    }
+}
+
+TEST_P(GeometryParamTest, ProgramRoundTripsOnEveryPartition)
+{
+    PramGeometry g = geometryOf(GetParam());
+    EventQueue eq;
+    PramModule mod(eq, g, PramTiming::paperDefault(), "mod");
+    auto ow_write = [&](std::uint32_t off, const void *src,
+                        std::uint32_t len) {
+        std::uint64_t a = mod.overlayWindow().base() + off;
+        DecomposedAddress d = mod.decomposer().decompose(a);
+        eq.runUntil(mod.preActive(0, d.upperRow, d.partition));
+        eq.runUntil(mod.activate(0, d.lowerRow));
+        BurstTiming bt = mod.writeBurst(0, d.column, len, src);
+        eq.runUntil(bt.lastData + mod.timing().tWRA);
+    };
+    for (std::uint32_t p = 0; p < g.partitionsPerBank; ++p) {
+        std::uint64_t word = p; // word p lives in partition p
+        std::array<std::uint8_t, 32> data;
+        data.fill(std::uint8_t(0x30 + p));
+        std::uint32_t code = ow::cmdBufferProgram;
+        ow_write(ow::codeReg, &code, 4);
+        std::uint32_t w32 = std::uint32_t(word);
+        ow_write(ow::addressReg, &w32, 4);
+        std::uint32_t n = 32;
+        ow_write(ow::multiPurposeReg, &n, 4);
+        ow_write(ow::programBufferBase, data.data(), 32);
+        std::uint32_t go = 1;
+        ow_write(ow::executeReg, &go, 4);
+        eq.runUntil(mod.programBusyUntil());
+
+        std::array<std::uint8_t, 32> out{};
+        mod.functionalRead(word * 32, out.data(), 32);
+        EXPECT_EQ(out, data) << "partition " << p;
+        EXPECT_EQ(mod.partitionProgramCount(p), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, GeometryParamTest,
+    ::testing::Values(
+        GeomParam{16, 64, 4096, 4, 8},  // the paper's sample
+        GeomParam{4, 16, 1024, 2, 4},   // small dev board
+        GeomParam{8, 32, 2048, 4, 10},  // mid-density
+        GeomParam{32, 64, 4096, 8, 6},  // future high-parallelism
+        GeomParam{16, 8, 512, 1, 3}),   // single row buffer
+    [](const ::testing::TestParamInfo<GeomParam> &info) {
+        return "p" + std::to_string(std::get<0>(info.param)) + "_t" +
+               std::to_string(std::get<1>(info.param)) + "_rb" +
+               std::to_string(std::get<3>(info.param));
+    });
+
+} // namespace
+} // namespace pram
+} // namespace dramless

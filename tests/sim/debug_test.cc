@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests of the debug-trace facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/debug.hh"
+
+namespace dramless
+{
+namespace debug
+{
+namespace
+{
+
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        clearFlags();
+        setStream(nullptr);
+    }
+};
+
+TEST_F(DebugTest, FlagsToggle)
+{
+    EXPECT_FALSE(anyEnabled());
+    EXPECT_FALSE(flagEnabled("Ctrl"));
+    enableFlag("Ctrl");
+    EXPECT_TRUE(anyEnabled());
+    EXPECT_TRUE(flagEnabled("Ctrl"));
+    EXPECT_FALSE(flagEnabled("Pram"));
+    disableFlag("Ctrl");
+    EXPECT_FALSE(anyEnabled());
+}
+
+TEST_F(DebugTest, AllFlagEnablesEverything)
+{
+    enableFlag("All");
+    EXPECT_TRUE(flagEnabled("Ctrl"));
+    EXPECT_TRUE(flagEnabled("Anything"));
+}
+
+TEST_F(DebugTest, PrintFormatsTickNameMessage)
+{
+    std::ostringstream os;
+    setStream(&os);
+    print(12345, "pram.ch0", "hello 42");
+    EXPECT_EQ(os.str(), "12345: pram.ch0: hello 42\n");
+}
+
+TEST_F(DebugTest, MacroEmitsOnlyWhenEnabled)
+{
+    std::ostringstream os;
+    setStream(&os);
+    Tick fake_now = 77;
+    auto curTick = [&] { return fake_now; };
+    auto name = [] { return std::string("unit"); };
+    DPRINTF("Unit", "hidden %d", 1);
+    EXPECT_TRUE(os.str().empty());
+    enableFlag("Unit");
+    DPRINTF("Unit", "visible %d", 2);
+    EXPECT_EQ(os.str(), "77: unit: visible 2\n");
+    (void)curTick;
+    (void)name;
+}
+
+TEST_F(DebugTest, DprintfnTakesExplicitContext)
+{
+    std::ostringstream os;
+    setStream(&os);
+    enableFlag("X");
+    DPRINTFN("X", 9, "who", "v=%u", 3u);
+    EXPECT_EQ(os.str(), "9: who: v=3\n");
+}
+
+TEST_F(DebugTest, EnabledFlagsListsSorted)
+{
+    enableFlag("Zeta");
+    enableFlag("Alpha");
+    auto flags = enabledFlags();
+    ASSERT_EQ(flags.size(), 2u);
+    EXPECT_EQ(flags[0], "Alpha");
+    EXPECT_EQ(flags[1], "Zeta");
+}
+
+} // namespace
+} // namespace debug
+} // namespace dramless

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Model-based fuzz test of the event queue: a randomized sequence of
+ * schedule/deschedule/reschedule/step operations checked against a
+ * simple reference model (a multiset of (tick, seq) pairs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace
+{
+
+class RecordingEvent : public Event
+{
+  public:
+    explicit RecordingEvent(std::vector<int> *log, int id)
+        : log_(log), id_(id)
+    {}
+
+    void process() override { log_->push_back(id_); }
+    std::string name() const override
+    {
+        return "fuzz" + std::to_string(id_);
+    }
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+TEST(EventQueueFuzzTest, MatchesReferenceModel)
+{
+    for (std::uint64_t seed : {1u, 7u, 42u, 1234u, 99999u}) {
+        Random rng(seed);
+        EventQueue eq;
+        std::vector<int> fired;
+
+        constexpr int num_events = 32;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < num_events; ++i)
+            events.push_back(
+                std::make_unique<RecordingEvent>(&fired, i));
+
+        // Reference model: id -> scheduled tick plus a global
+        // insertion order to break ties.
+        struct Ref
+        {
+            Tick when;
+            std::uint64_t order;
+        };
+        std::map<int, Ref> model;
+        std::uint64_t order = 0;
+        std::vector<int> expected;
+
+        auto model_pop = [&]() -> bool {
+            if (model.empty())
+                return false;
+            auto best = model.begin();
+            for (auto it = model.begin(); it != model.end(); ++it) {
+                if (it->second.when < best->second.when ||
+                    (it->second.when == best->second.when &&
+                     it->second.order < best->second.order)) {
+                    best = it;
+                }
+            }
+            expected.push_back(best->first);
+            model.erase(best);
+            return true;
+        };
+
+        for (int step = 0; step < 600; ++step) {
+            int id = int(rng.below(num_events));
+            double dice = rng.uniform();
+            if (dice < 0.45) {
+                // (Re)schedule at now + random delta.
+                Tick when = eq.curTick() + rng.below(1000);
+                if (events[id]->scheduled())
+                    model.erase(id);
+                eq.reschedule(events[id].get(), when);
+                model[id] = Ref{when, ++order};
+            } else if (dice < 0.6) {
+                if (events[id]->scheduled()) {
+                    eq.deschedule(events[id].get());
+                    model.erase(id);
+                }
+            } else if (dice < 0.9) {
+                // Fire one event in both worlds.
+                bool fired_model = model_pop();
+                bool fired_real = eq.step();
+                ASSERT_EQ(fired_real, fired_model);
+            } else {
+                ASSERT_EQ(eq.numPending(), model.size());
+                // nextTick must agree with the model's minimum.
+                Tick model_next = maxTick;
+                for (const auto &[_, ref] : model)
+                    model_next = std::min(model_next, ref.when);
+                ASSERT_EQ(eq.nextTick(), model_next);
+            }
+        }
+        // Drain both.
+        while (model_pop()) {
+        }
+        eq.run();
+        ASSERT_EQ(fired, expected) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace dramless

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests of the event-driven simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueTest, ProcessesEventAtScheduledTick)
+{
+    EventQueue eq;
+    Tick seen = maxTick;
+    EventFunctionWrapper ev([&] { seen = eq.curTick(); }, "probe");
+    eq.schedule(&ev, 100);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 100u);
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueueTest, OrdersByTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper a([&] { order.push_back(1); }, "a");
+    EventFunctionWrapper b([&] { order.push_back(2); }, "b");
+    EventFunctionWrapper c([&] { order.push_back(3); }, "c");
+    eq.schedule(&c, 30);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickOrdersByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventFunctionWrapper low([&] { order.push_back(3); }, "low");
+    EventFunctionWrapper first([&] { order.push_back(1); }, "first");
+    EventFunctionWrapper second([&] { order.push_back(2); }, "second");
+    eq.schedule(&low, 50, Event::lowPriority);
+    eq.schedule(&first, 50);
+    eq.schedule(&second, 50);
+    eq.run();
+    // Priority dominates; FIFO among equals.
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, DeschedulePreventsProcessing)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventFunctionWrapper ev([&] { ran = true; }, "victim");
+    eq.schedule(&ev, 10);
+    eq.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueueTest, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    EventFunctionWrapper ev([&] { seen = eq.curTick(); }, "mover");
+    eq.schedule(&ev, 10);
+    eq.reschedule(&ev, 42);
+    eq.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueTest, RescheduleWorksOnIdleEvent)
+{
+    EventQueue eq;
+    int runs = 0;
+    EventFunctionWrapper ev([&] { ++runs; }, "idle");
+    eq.reschedule(&ev, 5);
+    eq.run();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int hops = 0;
+    EventFunctionWrapper ev(
+        [&] {
+            if (++hops < 5) {
+                eq.schedule(&ev, eq.curTick() + 7);
+            }
+        },
+        "chain");
+    eq.schedule(&ev, 0);
+    eq.run();
+    EXPECT_EQ(hops, 5);
+    EXPECT_EQ(eq.curTick(), 28u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int runs = 0;
+    EventFunctionWrapper a([&] { ++runs; }, "a");
+    EventFunctionWrapper b([&] { ++runs; }, "b");
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.runUntil(10);
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(eq.curTick(), 10u);
+    eq.runUntil(15);
+    EXPECT_EQ(runs, 1);
+    // Time advances to the boundary even with no events.
+    EXPECT_EQ(eq.curTick(), 15u);
+    eq.runUntil(20);
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueueTest, BoundedRunProcessesExactlyLimit)
+{
+    EventQueue eq;
+    int runs = 0;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    for (int i = 0; i < 10; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&] { ++runs; }, "e"));
+        eq.schedule(events.back().get(), Tick(i));
+    }
+    EXPECT_EQ(eq.run(std::uint64_t(4)), 4u);
+    EXPECT_EQ(runs, 4);
+    EXPECT_EQ(eq.numPending(), 6u);
+    // Drain the rest so no scheduled event is destroyed.
+    eq.run();
+}
+
+TEST(EventQueueTest, NumProcessedCounts)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "x");
+    eq.schedule(&ev, 1);
+    eq.run();
+    eq.schedule(&ev, 2);
+    eq.run();
+    EXPECT_EQ(eq.numProcessed(), 2u);
+}
+
+TEST(EventQueueDeathTest, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "dup");
+    eq.schedule(&ev, 5);
+    EXPECT_DEATH(eq.schedule(&ev, 6), "double-scheduled");
+    eq.run();
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper past([] {}, "past");
+    EventFunctionWrapper ev([&] { /* now at 10 */ }, "now");
+    eq.schedule(&ev, 10);
+    eq.run();
+    EXPECT_DEATH(eq.schedule(&past, 5), "in the past");
+}
+
+TEST(EventQueueDeathTest, DestroyWhileScheduledPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(
+        {
+            EventFunctionWrapper ev([] {}, "leak");
+            eq.schedule(&ev, 1);
+            // ev destroyed while scheduled
+        },
+        "destroyed while scheduled");
+}
+
+} // namespace
+} // namespace dramless

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests of the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/stats.hh"
+
+namespace dramless
+{
+namespace stats
+{
+namespace
+{
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    Scalar s("s");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    s -= 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(AverageTest, TracksMeanMinMax)
+{
+    Average a("a");
+    a.sample(1.0);
+    a.sample(3.0);
+    a.sample(2.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(AverageTest, EmptyAverageIsZero)
+{
+    Average a("a");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(HistogramTest, BucketsSamplesLinearly)
+{
+    Histogram h("h", 0.0, 10.0, 5);
+    h.sample(0.0);
+    h.sample(1.9);
+    h.sample(2.0);
+    h.sample(9.9);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.totalSamples(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(1), 4.0);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow)
+{
+    Histogram h("h", 0.0, 10.0, 2);
+    h.sample(-1.0);
+    h.sample(10.0); // hi bound is exclusive
+    h.sample(100.0, 3);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    Histogram h("h", 0.0, 4.0, 4);
+    h.sample(1.0);
+    h.sample(-1.0);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    for (std::size_t i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+}
+
+TEST(TimeSeriesTest, RecordsMonotonically)
+{
+    TimeSeries ts("ipc");
+    ts.record(0, 1.0);
+    ts.record(10, 2.0);
+    ts.record(10, 3.0); // equal ticks are fine
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+}
+
+TEST(TimeSeriesDeathTest, BackwardsTickPanics)
+{
+    TimeSeries ts("ipc");
+    ts.record(10, 1.0);
+    EXPECT_DEATH(ts.record(5, 1.0), "backwards");
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanHoldsValues)
+{
+    TimeSeries ts("power");
+    // 10 W for 10 ticks, then 20 W for 30 ticks.
+    ts.record(0, 10.0);
+    ts.record(10, 20.0);
+    ts.record(40, 0.0);
+    EXPECT_NEAR(ts.timeWeightedMean(), (10 * 10 + 20 * 30) / 40.0,
+                1e-9);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanDegenerateCases)
+{
+    TimeSeries empty("e");
+    EXPECT_DOUBLE_EQ(empty.timeWeightedMean(), 0.0);
+    TimeSeries one("o");
+    one.record(5, 7.0);
+    EXPECT_DOUBLE_EQ(one.timeWeightedMean(), 7.0);
+}
+
+TEST(TimeSeriesTest, DownsampleAveragesWindows)
+{
+    TimeSeries ts("t");
+    for (Tick i = 0; i < 100; ++i)
+        ts.record(i, double(i));
+    auto pts = ts.downsample(10);
+    ASSERT_EQ(pts.size(), 10u);
+    EXPECT_DOUBLE_EQ(pts[0].value, 4.5); // mean of 0..9
+    EXPECT_EQ(pts[0].when, 0u);
+    EXPECT_DOUBLE_EQ(pts[9].value, 94.5);
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall)
+{
+    TimeSeries ts("t");
+    ts.record(0, 1.0);
+    ts.record(1, 2.0);
+    auto pts = ts.downsample(10);
+    EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(StatGroupTest, DumpsRegisteredStats)
+{
+    StatGroup group("test");
+    Scalar s("scalar.one", "a counter");
+    s += 42;
+    Average a("avg.two");
+    a.sample(2.0);
+    Histogram h("hist.three", 0, 10, 2);
+    h.sample(1.0);
+    group.add(&s);
+    group.add(&a);
+    group.add(&h);
+    std::ostringstream os;
+    group.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("scalar.one"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("avg.two"), std::string::npos);
+    EXPECT_NE(out.find("hist.three"), std::string::npos);
+}
+
+TEST(GeomeanTest, MatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
+}
+
+TEST(GeomeanDeathTest, RejectsNonPositiveAndEmpty)
+{
+    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+    EXPECT_DEATH(geomean({-2.0}), "positive");
+}
+
+} // namespace
+} // namespace stats
+} // namespace dramless

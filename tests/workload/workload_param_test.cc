@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parameterized property tests over every Polybench kernel: trace
+ * invariants that must hold regardless of pattern or class.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/polybench.hh"
+#include "workload/trace_gen.hh"
+
+namespace dramless
+{
+namespace workload
+{
+namespace
+{
+
+class WorkloadParamTest
+    : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    WorkloadSpec
+    spec() const
+    {
+        return Polybench::byName(GetParam()).scaled(0.04);
+    }
+};
+
+TEST_P(WorkloadParamTest, TraceStaysInsideItsRegions)
+{
+    for (std::uint32_t agent : {0u, 3u, 6u}) {
+        TraceGenConfig tc;
+        tc.spec = spec();
+        tc.agentIndex = agent;
+        tc.numAgents = 7;
+        PolybenchTraceSource src(tc);
+        auto [out_base, out_size] = src.outputRegion();
+        accel::TraceItem it;
+        while (src.next(it)) {
+            if (it.kind == accel::TraceItem::Kind::load) {
+                EXPECT_LT(it.addr + it.size,
+                          tc.spec.inputBytes + 32);
+            } else if (it.kind == accel::TraceItem::Kind::store) {
+                EXPECT_GE(it.addr, out_base);
+                EXPECT_LT(it.addr + it.size,
+                          out_base + out_size + 32);
+            }
+        }
+    }
+}
+
+TEST_P(WorkloadParamTest, VolumesMatchSpecWithinTolerance)
+{
+    TraceGenConfig tc;
+    tc.spec = spec();
+    tc.numAgents = 1;
+    PolybenchTraceSource src(tc);
+    accel::TraceItem it;
+    std::uint64_t lb = 0, sb = 0;
+    while (src.next(it)) {
+        if (it.kind == accel::TraceItem::Kind::load)
+            lb += it.size;
+        else if (it.kind == accel::TraceItem::Kind::store)
+            sb += it.size;
+    }
+    // Loads cover at least the input once (stencils re-read rows).
+    EXPECT_GE(lb, src.loadBytes());
+    EXPECT_LE(lb, 3 * src.loadBytes());
+    // Stores cover the output at least once, at most ~2x (pacing
+    // rounding plus the final flush-to-volume).
+    EXPECT_GE(sb, src.storeBytes());
+    EXPECT_LE(sb, 2 * src.storeBytes() + 64);
+}
+
+TEST_P(WorkloadParamTest, AllItemsWellFormed)
+{
+    TraceGenConfig tc;
+    tc.spec = spec();
+    tc.numAgents = 7;
+    tc.agentIndex = 2;
+    PolybenchTraceSource src(tc);
+    accel::TraceItem it;
+    std::uint64_t items = 0;
+    while (src.next(it)) {
+        ++items;
+        switch (it.kind) {
+          case accel::TraceItem::Kind::compute:
+            EXPECT_GT(it.instructions, 0u);
+            break;
+          case accel::TraceItem::Kind::load:
+          case accel::TraceItem::Kind::store:
+            EXPECT_EQ(it.size % 32, 0u);
+            EXPECT_GT(it.size, 0u);
+            EXPECT_EQ(it.addr % 32, 0u);
+            break;
+        }
+    }
+    EXPECT_GT(items, 10u);
+}
+
+TEST_P(WorkloadParamTest, ScalingPreservesPatternAndClass)
+{
+    WorkloadSpec base = Polybench::byName(GetParam());
+    for (double f : {0.1, 0.5, 2.0}) {
+        WorkloadSpec s = base.scaled(f);
+        EXPECT_EQ(s.pattern, base.pattern);
+        EXPECT_EQ(s.klass, base.klass);
+        EXPECT_DOUBLE_EQ(s.opsPerByte, base.opsPerByte);
+        EXPECT_NEAR(s.writeRatio(), base.writeRatio(), 0.03);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, WorkloadParamTest,
+    ::testing::Values("adi", "chol", "doitg", "durbin", "dynpro",
+                      "fdtdap", "floyd", "gemver", "jaco1D",
+                      "jaco2D", "lu", "regd", "seidel", "trisolv",
+                      "trmm"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
+} // namespace workload
+} // namespace dramless
