@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_geometry"
+  "../bench/ablation_geometry.pdb"
+  "CMakeFiles/ablation_geometry.dir/ablation_geometry.cc.o"
+  "CMakeFiles/ablation_geometry.dir/ablation_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_firmware"
+  "../bench/fig07_firmware.pdb"
+  "CMakeFiles/fig07_firmware.dir/fig07_firmware.cc.o"
+  "CMakeFiles/fig07_firmware.dir/fig07_firmware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

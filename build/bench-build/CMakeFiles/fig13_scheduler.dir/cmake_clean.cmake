@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_scheduler"
+  "../bench/fig13_scheduler.pdb"
+  "CMakeFiles/fig13_scheduler.dir/fig13_scheduler.cc.o"
+  "CMakeFiles/fig13_scheduler.dir/fig13_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_bandwidth"
+  "../bench/fig15_bandwidth.pdb"
+  "CMakeFiles/fig15_bandwidth.dir/fig15_bandwidth.cc.o"
+  "CMakeFiles/fig15_bandwidth.dir/fig15_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_energy"
+  "../bench/fig17_energy.pdb"
+  "CMakeFiles/fig17_energy.dir/fig17_energy.cc.o"
+  "CMakeFiles/fig17_energy.dir/fig17_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_ipc_gemver"
+  "../bench/fig18_ipc_gemver.pdb"
+  "CMakeFiles/fig18_ipc_gemver.dir/fig18_ipc_gemver.cc.o"
+  "CMakeFiles/fig18_ipc_gemver.dir/fig18_ipc_gemver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_ipc_gemver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

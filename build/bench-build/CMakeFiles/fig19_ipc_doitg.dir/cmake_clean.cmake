@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_ipc_doitg"
+  "../bench/fig19_ipc_doitg.pdb"
+  "CMakeFiles/fig19_ipc_doitg.dir/fig19_ipc_doitg.cc.o"
+  "CMakeFiles/fig19_ipc_doitg.dir/fig19_ipc_doitg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_ipc_doitg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_power_gemver"
+  "../bench/fig20_power_gemver.pdb"
+  "CMakeFiles/fig20_power_gemver.dir/fig20_power_gemver.cc.o"
+  "CMakeFiles/fig20_power_gemver.dir/fig20_power_gemver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_power_gemver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

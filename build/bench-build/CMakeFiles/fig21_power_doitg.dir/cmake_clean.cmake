@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_power_doitg"
+  "../bench/fig21_power_doitg.pdb"
+  "CMakeFiles/fig21_power_doitg.dir/fig21_power_doitg.cc.o"
+  "CMakeFiles/fig21_power_doitg.dir/fig21_power_doitg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_power_doitg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_controller"
+  "../bench/micro_controller.pdb"
+  "CMakeFiles/micro_controller.dir/micro_controller.cc.o"
+  "CMakeFiles/micro_controller.dir/micro_controller.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

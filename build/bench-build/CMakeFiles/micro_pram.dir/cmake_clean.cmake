@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pram"
+  "../bench/micro_pram.pdb"
+  "CMakeFiles/micro_pram.dir/micro_pram.cc.o"
+  "CMakeFiles/micro_pram.dir/micro_pram.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

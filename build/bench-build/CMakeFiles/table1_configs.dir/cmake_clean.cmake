@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_configs"
+  "../bench/table1_configs.pdb"
+  "CMakeFiles/table1_configs.dir/table1_configs.cc.o"
+  "CMakeFiles/table1_configs.dir/table1_configs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_pram_params"
+  "../bench/table2_pram_params.pdb"
+  "CMakeFiles/table2_pram_params.dir/table2_pram_params.cc.o"
+  "CMakeFiles/table2_pram_params.dir/table2_pram_params.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pram_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_workloads"
+  "../bench/table3_workloads.pdb"
+  "CMakeFiles/table3_workloads.dir/table3_workloads.cc.o"
+  "CMakeFiles/table3_workloads.dir/table3_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dramless_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/dramless_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/dramless_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/dramless_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/dramless_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dramless_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dramless_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dramless_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_accel.dir/accelerator.cc.o"
+  "CMakeFiles/dramless_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/dramless_accel.dir/pe.cc.o"
+  "CMakeFiles/dramless_accel.dir/pe.cc.o.d"
+  "libdramless_accel.a"
+  "libdramless_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

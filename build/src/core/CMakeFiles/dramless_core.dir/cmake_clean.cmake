@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_core.dir/dramless_accelerator.cc.o"
+  "CMakeFiles/dramless_core.dir/dramless_accelerator.cc.o.d"
+  "CMakeFiles/dramless_core.dir/kernel_image.cc.o"
+  "CMakeFiles/dramless_core.dir/kernel_image.cc.o.d"
+  "libdramless_core.a"
+  "libdramless_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

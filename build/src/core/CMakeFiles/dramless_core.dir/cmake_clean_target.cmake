@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdramless_core.a"
+)

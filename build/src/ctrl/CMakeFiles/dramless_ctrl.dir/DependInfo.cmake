@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/channel_controller.cc" "src/ctrl/CMakeFiles/dramless_ctrl.dir/channel_controller.cc.o" "gcc" "src/ctrl/CMakeFiles/dramless_ctrl.dir/channel_controller.cc.o.d"
+  "/root/repo/src/ctrl/pram_subsystem.cc" "src/ctrl/CMakeFiles/dramless_ctrl.dir/pram_subsystem.cc.o" "gcc" "src/ctrl/CMakeFiles/dramless_ctrl.dir/pram_subsystem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pram/CMakeFiles/dramless_pram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dramless_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

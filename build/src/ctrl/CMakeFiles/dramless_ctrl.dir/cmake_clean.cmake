@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_ctrl.dir/channel_controller.cc.o"
+  "CMakeFiles/dramless_ctrl.dir/channel_controller.cc.o.d"
+  "CMakeFiles/dramless_ctrl.dir/pram_subsystem.cc.o"
+  "CMakeFiles/dramless_ctrl.dir/pram_subsystem.cc.o.d"
+  "libdramless_ctrl.a"
+  "libdramless_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

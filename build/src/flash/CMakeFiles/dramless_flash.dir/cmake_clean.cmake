@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_flash.dir/ftl.cc.o"
+  "CMakeFiles/dramless_flash.dir/ftl.cc.o.d"
+  "CMakeFiles/dramless_flash.dir/ssd.cc.o"
+  "CMakeFiles/dramless_flash.dir/ssd.cc.o.d"
+  "libdramless_flash.a"
+  "libdramless_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

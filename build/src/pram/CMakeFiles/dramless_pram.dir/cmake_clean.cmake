@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_pram.dir/pram_module.cc.o"
+  "CMakeFiles/dramless_pram.dir/pram_module.cc.o.d"
+  "libdramless_pram.a"
+  "libdramless_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_sim.dir/debug.cc.o"
+  "CMakeFiles/dramless_sim.dir/debug.cc.o.d"
+  "CMakeFiles/dramless_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dramless_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dramless_sim.dir/logging.cc.o"
+  "CMakeFiles/dramless_sim.dir/logging.cc.o.d"
+  "CMakeFiles/dramless_sim.dir/stats.cc.o"
+  "CMakeFiles/dramless_sim.dir/stats.cc.o.d"
+  "libdramless_sim.a"
+  "libdramless_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

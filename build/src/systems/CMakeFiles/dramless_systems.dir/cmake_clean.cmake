@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_systems.dir/backends.cc.o"
+  "CMakeFiles/dramless_systems.dir/backends.cc.o.d"
+  "CMakeFiles/dramless_systems.dir/energy_accounting.cc.o"
+  "CMakeFiles/dramless_systems.dir/energy_accounting.cc.o.d"
+  "CMakeFiles/dramless_systems.dir/factory.cc.o"
+  "CMakeFiles/dramless_systems.dir/factory.cc.o.d"
+  "CMakeFiles/dramless_systems.dir/hetero_system.cc.o"
+  "CMakeFiles/dramless_systems.dir/hetero_system.cc.o.d"
+  "CMakeFiles/dramless_systems.dir/integrated_system.cc.o"
+  "CMakeFiles/dramless_systems.dir/integrated_system.cc.o.d"
+  "libdramless_systems.a"
+  "libdramless_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

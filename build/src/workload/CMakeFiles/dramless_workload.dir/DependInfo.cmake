@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/polybench.cc" "src/workload/CMakeFiles/dramless_workload.dir/polybench.cc.o" "gcc" "src/workload/CMakeFiles/dramless_workload.dir/polybench.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/dramless_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/dramless_workload.dir/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dramless_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dramless_accel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

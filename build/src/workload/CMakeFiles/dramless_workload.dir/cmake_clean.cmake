@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dramless_workload.dir/polybench.cc.o"
+  "CMakeFiles/dramless_workload.dir/polybench.cc.o.d"
+  "CMakeFiles/dramless_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/dramless_workload.dir/trace_gen.cc.o.d"
+  "libdramless_workload.a"
+  "libdramless_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dramless_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

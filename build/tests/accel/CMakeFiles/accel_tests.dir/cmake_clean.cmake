@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_tests.dir/accelerator_test.cc.o"
+  "CMakeFiles/accel_tests.dir/accelerator_test.cc.o.d"
+  "CMakeFiles/accel_tests.dir/cache_test.cc.o"
+  "CMakeFiles/accel_tests.dir/cache_test.cc.o.d"
+  "CMakeFiles/accel_tests.dir/pe_test.cc.o"
+  "CMakeFiles/accel_tests.dir/pe_test.cc.o.d"
+  "accel_tests"
+  "accel_tests.pdb"
+  "accel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_tests.dir/channel_controller_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/channel_controller_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/pram_subsystem_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/pram_subsystem_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/scheduler_param_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/scheduler_param_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/start_gap_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/start_gap_test.cc.o.d"
+  "CMakeFiles/ctrl_tests.dir/subsystem_param_test.cc.o"
+  "CMakeFiles/ctrl_tests.dir/subsystem_param_test.cc.o.d"
+  "ctrl_tests"
+  "ctrl_tests.pdb"
+  "ctrl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tests.dir/energy_test.cc.o"
+  "CMakeFiles/energy_tests.dir/energy_test.cc.o.d"
+  "energy_tests"
+  "energy_tests.pdb"
+  "energy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

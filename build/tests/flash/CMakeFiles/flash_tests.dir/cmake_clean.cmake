@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_tests.dir/flash_array_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash_array_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/ftl_test.cc.o"
+  "CMakeFiles/flash_tests.dir/ftl_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/media_param_test.cc.o"
+  "CMakeFiles/flash_tests.dir/media_param_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/ssd_test.cc.o"
+  "CMakeFiles/flash_tests.dir/ssd_test.cc.o.d"
+  "flash_tests"
+  "flash_tests.pdb"
+  "flash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

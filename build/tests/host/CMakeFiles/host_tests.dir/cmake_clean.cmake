@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_tests.dir/host_test.cc.o"
+  "CMakeFiles/host_tests.dir/host_test.cc.o.d"
+  "host_tests"
+  "host_tests.pdb"
+  "host_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

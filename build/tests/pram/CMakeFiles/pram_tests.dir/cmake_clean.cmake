@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_tests.dir/address_test.cc.o"
+  "CMakeFiles/pram_tests.dir/address_test.cc.o.d"
+  "CMakeFiles/pram_tests.dir/geometry_param_test.cc.o"
+  "CMakeFiles/pram_tests.dir/geometry_param_test.cc.o.d"
+  "CMakeFiles/pram_tests.dir/pram_module_test.cc.o"
+  "CMakeFiles/pram_tests.dir/pram_module_test.cc.o.d"
+  "pram_tests"
+  "pram_tests.pdb"
+  "pram_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

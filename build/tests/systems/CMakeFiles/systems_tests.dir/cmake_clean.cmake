@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systems_tests.dir/systems_test.cc.o"
+  "CMakeFiles/systems_tests.dir/systems_test.cc.o.d"
+  "systems_tests"
+  "systems_tests.pdb"
+  "systems_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systems_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
