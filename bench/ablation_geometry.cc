@@ -4,7 +4,8 @@
  * out: row-buffer count (related work [60] reports multi-row
  * buffers cut latency/energy ~45%/69%), partition count (the
  * source of array-level parallelism), and program-buffer slots
- * (write concurrency).
+ * (write concurrency). All configurations are independent, so the
+ * whole ablation grid runs as one parallel sweep.
  */
 
 #include <cstdio>
@@ -16,15 +17,65 @@ using namespace dramless;
 namespace
 {
 
-double
-bwWith(const pram::PramGeometry &geom, const char *wl,
-       const systems::SystemOptions &base)
+const char *kernels[] = {"gemver", "trmm", "doitg"};
+
+/** A DRAM-less job with an ablated geometry. */
+runner::SweepJob
+geometryJob(const std::string &label, const pram::PramGeometry &geom,
+            const char *wl, const systems::SystemOptions &base)
 {
     systems::SystemOptions opts = base;
     opts.geometryOverride = geom;
-    auto sys = systems::SystemFactory::create(
-        systems::SystemKind::dramLess, opts);
-    return sys->run(workload::Polybench::byName(wl)).bandwidthMBps;
+    const auto &spec = workload::Polybench::byName(wl);
+    return runner::SweepJob{
+        label, wl, [opts, spec]() {
+            auto sys = systems::SystemFactory::create(
+                systems::SystemKind::dramLess, opts);
+            return sys->run(spec);
+        }};
+}
+
+/** A DRAM-less job with an ablated scheduler config. */
+runner::SweepJob
+schedulerJob(const std::string &label,
+             const ctrl::SchedulerConfig &sc, const char *wl,
+             const systems::SystemOptions &base)
+{
+    systems::SystemOptions opts = base;
+    opts.schedulerOverride = sc;
+    const auto &spec = workload::Polybench::byName(wl);
+    return runner::SweepJob{
+        label, wl, [opts, spec]() {
+            auto sys = systems::SystemFactory::create(
+                systems::SystemKind::dramLess, opts);
+            return sys->run(spec);
+        }};
+}
+
+/** Print one sweep section from the flat result list. */
+void
+printSection(const char *title, const char *knob,
+             const std::vector<std::string> &row_labels,
+             const std::vector<runner::SweepJob> &jobs,
+             const std::vector<systems::RunResult> &results,
+             runner::ResultSink &sink, std::size_t &idx)
+{
+    std::printf("%s\n", title);
+    std::printf("%-12s %10s %10s %10s\n", knob, kernels[0],
+                kernels[1], kernels[2]);
+    for (const auto &row : row_labels) {
+        std::printf("%-12s", row.c_str());
+        for (std::size_t k = 0; k < 3; ++k) {
+            double bw = results[idx].bandwidthMBps;
+            sink.metric(jobs[idx].system + "/" + jobs[idx].workload +
+                            "/bandwidth_mbps",
+                        bw);
+            std::printf(" %10.1f", bw);
+            ++idx;
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
 }
 
 } // anonymous namespace
@@ -33,70 +84,69 @@ int
 main()
 {
     auto opts = bench::defaultOptions();
-    const char *kernels[] = {"gemver", "trmm", "doitg"};
 
-    std::printf("Ablation: row buffers (RAB/RDB pairs), DRAM-less "
-                "bandwidth in MB/s (scale %.2f)\n",
-                opts.workloadScale);
-    std::printf("%-12s %10s %10s %10s\n", "rowBuffers", "gemver",
-                "trmm", "doitg");
+    std::vector<runner::SweepJob> jobs;
+    std::vector<std::string> rb_rows, part_rows, slot_rows, pf_rows;
+
     for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
         pram::PramGeometry g;
         g.numRowBuffers = n;
-        std::printf("%-12u", n);
+        rb_rows.push_back(std::to_string(n));
         for (const char *wl : kernels)
-            std::printf(" %10.1f", bwWith(g, wl, opts));
-        std::printf("\n");
+            jobs.push_back(geometryJob(
+                "rowBuffers=" + std::to_string(n), g, wl, opts));
     }
-
-    std::printf("\nAblation: partitions per bank\n");
-    std::printf("%-12s %10s %10s %10s\n", "partitions", "gemver",
-                "trmm", "doitg");
     for (std::uint32_t n : {4u, 8u, 16u, 32u}) {
         pram::PramGeometry g;
         g.partitionsPerBank = n;
-        std::printf("%-12u", n);
+        part_rows.push_back(std::to_string(n));
         for (const char *wl : kernels)
-            std::printf(" %10.1f", bwWith(g, wl, opts));
-        std::printf("\n");
+            jobs.push_back(geometryJob(
+                "partitions=" + std::to_string(n), g, wl, opts));
     }
-
-    std::printf("\nAblation: concurrent program slots (overlay "
-                "windows / program buffers)\n");
-    std::printf("%-12s %10s %10s %10s\n", "slots", "gemver", "trmm",
-                "doitg");
     for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
         pram::PramGeometry g;
         g.programSlots = n;
-        std::printf("%-12u", n);
+        slot_rows.push_back(std::to_string(n));
         for (const char *wl : kernels)
-            std::printf(" %10.1f", bwWith(g, wl, opts));
-        std::printf("\n");
+            jobs.push_back(geometryJob(
+                "programSlots=" + std::to_string(n), g, wl, opts));
     }
-
-    std::printf("\nAblation: sequential RDB prefetching "
-                "(Section III-B extension)\n");
-    std::printf("%-12s %10s %10s %10s\n", "prefetch", "gemver",
-                "trmm", "doitg");
     for (bool pf : {false, true}) {
-        systems::SystemOptions o = opts;
-        ctrl::SchedulerConfig sc = ctrl::SchedulerConfig::finalConfig();
+        ctrl::SchedulerConfig sc =
+            ctrl::SchedulerConfig::finalConfig();
         sc.rdbPrefetch = pf;
-        o.schedulerOverride = sc;
-        std::printf("%-12s", pf ? "on" : "off");
-        for (const char *wl : kernels) {
-            auto sys = systems::SystemFactory::create(
-                systems::SystemKind::dramLess, o);
-            std::printf(" %10.1f",
-                        sys->run(workload::Polybench::byName(wl))
-                            .bandwidthMBps);
-        }
-        std::printf("\n");
+        pf_rows.push_back(pf ? "on" : "off");
+        for (const char *wl : kernels)
+            jobs.push_back(schedulerJob(
+                std::string("rdbPrefetch=") + (pf ? "on" : "off"),
+                sc, wl, opts));
     }
 
-    std::printf("\nshapes: more row buffers raise hit/skip rates; "
+    std::vector<systems::RunResult> results = bench::runJobs(jobs);
+    auto sink = bench::makeSink("ablation_geometry",
+                                "PRAM microarchitecture ablations",
+                                opts);
+
+    std::size_t idx = 0;
+    std::printf("Ablations on DRAM-less bandwidth in MB/s "
+                "(scale %.2f)\n\n",
+                opts.workloadScale);
+    printSection("Ablation: row buffers (RAB/RDB pairs)",
+                 "rowBuffers", rb_rows, jobs, results, sink, idx);
+    printSection("Ablation: partitions per bank", "partitions",
+                 part_rows, jobs, results, sink, idx);
+    printSection("Ablation: concurrent program slots (overlay "
+                 "windows / program buffers)",
+                 "slots", slot_rows, jobs, results, sink, idx);
+    printSection("Ablation: sequential RDB prefetching "
+                 "(Section III-B extension)",
+                 "prefetch", pf_rows, jobs, results, sink, idx);
+
+    std::printf("shapes: more row buffers raise hit/skip rates; "
                 "partitions feed the\ninterleaver; program slots set "
                 "the write-bandwidth ceiling (write-heavy\nkernels "
                 "move most); prefetching warms streaming reads.\n");
+    sink.exportFromEnv();
     return 0;
 }

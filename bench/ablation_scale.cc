@@ -4,7 +4,8 @@
  * volumes (the paper used multi-GB runs), so the methodology relies
  * on the headline *ratios* being stable across scale. This bench
  * sweeps the volume scale and reports the key Figure 15 ratios at
- * each point.
+ * each point; all (scale, system, workload) runs execute as one
+ * parallel sweep.
  */
 
 #include <cstdio>
@@ -24,6 +25,30 @@ main()
         systems::SystemKind::integratedSlc,
         systems::SystemKind::dramLess,
     };
+    const double scales[] = {0.1, 0.25, 0.5};
+
+    std::vector<runner::SweepJob> jobs;
+    for (double scale : scales) {
+        systems::SystemOptions opts;
+        opts.workloadScale = scale;
+        for (auto kind : kinds) {
+            for (const char *wl : kernels) {
+                auto job = runner::makeJob(
+                    kind, workload::Polybench::byName(wl), opts);
+                // Distinguish scales in the progress line.
+                job.system = std::string(
+                                 systems::SystemFactory::label(kind)) +
+                             "@" + std::to_string(scale);
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    std::vector<systems::RunResult> results = bench::runJobs(jobs);
+
+    systems::SystemOptions defaults;
+    auto sink = bench::makeSink(
+        "ablation_scale",
+        "Scale sensitivity of the headline ratios", defaults);
 
     std::printf("Scale sensitivity of the headline ratios "
                 "(geomean over gemver/doitg/trmm/durbin)\n\n");
@@ -33,21 +58,13 @@ main()
                 "--------------------------------------------------"
                 "--------");
 
-    for (double scale : {0.1, 0.25, 0.5}) {
-        systems::SystemOptions opts;
-        opts.workloadScale = scale;
+    std::size_t idx = 0;
+    for (double scale : scales) {
         std::map<std::string, std::map<std::string, double>> bw;
         for (auto kind : kinds) {
             const char *label = systems::SystemFactory::label(kind);
-            for (const char *wl : kernels) {
-                std::fprintf(stderr, "  scale %.2f %-18s %-8s\r",
-                             scale, label, wl);
-                std::fflush(stderr);
-                auto sys = systems::SystemFactory::create(kind, opts);
-                bw[label][wl] =
-                    sys->run(workload::Polybench::byName(wl))
-                        .bandwidthMBps;
-            }
+            for (const char *wl : kernels)
+                bw[label][wl] = results[idx++].bandwidthMBps;
         }
         auto ratio = [&](const char *a, const char *b) {
             std::vector<double> r;
@@ -55,15 +72,23 @@ main()
                 r.push_back(bw[a][wl] / bw[b][wl]);
             return stats::geomean(r);
         };
+        double dl_hetero = ratio("DRAM-less", "Hetero");
+        double dl_hd = ratio("DRAM-less", "Heterodirect");
+        double dl_slc = ratio("DRAM-less", "Integrated-SLC");
         std::printf("%-8.2f %16.2f %16.2f %16.2f\n", scale,
-                    ratio("DRAM-less", "Hetero"),
-                    ratio("DRAM-less", "Heterodirect"),
-                    ratio("DRAM-less", "Integrated-SLC"));
+                    dl_hetero, dl_hd, dl_slc);
+        char key[64];
+        std::snprintf(key, sizeof(key), "scale_%g", scale);
+        sink.metric(std::string(key) + "/dl_over_hetero", dl_hetero);
+        sink.metric(std::string(key) + "/dl_over_heterodirect",
+                    dl_hd);
+        sink.metric(std::string(key) + "/dl_over_integrated_slc",
+                    dl_slc);
     }
-    std::fprintf(stderr, "%-48s\r", "");
     std::printf("\nstable ratios across scale justify running the "
                 "reproduction at reduced volumes\n(buffer capacities "
                 "scale with the workload to preserve data:buffer "
                 "ratios).\n");
+    sink.exportFromEnv();
     return 0;
 }

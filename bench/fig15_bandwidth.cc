@@ -49,6 +49,11 @@ main()
         std::printf("  | gm %.2f\n", stats::geomean(norm));
     }
 
+    auto sink = bench::makeSink(
+        "fig15_bandwidth",
+        "Figure 15: throughput normalized to Hetero", opts);
+    sink.add(m);
+
     // Headline ratios.
     auto gm = [&](const char *a, const char *b) {
         std::vector<double> r;
@@ -83,5 +88,20 @@ main()
     std::printf("  DRAM-less / PAGE-buffer on memory-intensive"
                 " (durbin,dynpro,jaco1D,regd): %.2f (paper 2.49)\n",
                 stats::geomean(mem));
+
+    sink.metric("gm_dramless_over_hetero", gm("DRAM-less", "Hetero"));
+    sink.metric("gm_dramless_over_heterodirect",
+                gm("DRAM-less", "Heterodirect"));
+    sink.metric("gm_heterodirect_over_hetero",
+                gm("Heterodirect", "Hetero"));
+    sink.metric("gm_dramless_over_firmware",
+                gm("DRAM-less", "DRAM-less (firmware)"));
+    sink.metric("gm_dramless_over_pagebuffer",
+                gm("DRAM-less", "PAGE-buffer"));
+    sink.metric("gm_dramless_over_integrated_slc",
+                gm("DRAM-less", "Integrated-SLC"));
+    sink.metric("gm_dramless_over_pagebuffer_memintensive",
+                stats::geomean(mem));
+    sink.exportFromEnv();
     return 0;
 }

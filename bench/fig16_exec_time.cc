@@ -42,6 +42,11 @@ main()
     auto kinds = systems::SystemFactory::evaluationOrder();
     bench::ResultMatrix m = bench::runMatrix(kinds, opts);
 
+    auto sink = bench::makeSink(
+        "fig16_exec_time",
+        "Figure 16: execution time decomposition", opts);
+    sink.add(m);
+
     std::printf("averaged over the suite (%% of execution time):\n");
     std::printf("%-22s %8s %8s %8s %8s %12s\n", "system", "host",
                 "PCIe", "storage", "compute", "exec ms (gm)");
@@ -66,6 +71,12 @@ main()
                     label, 100 * sum.host / n, 100 * sum.pcie / n,
                     100 * sum.storage / n, 100 * sum.compute / n,
                     stats::geomean(exec_ms));
+        sink.metric(std::string(label) + "/exec_ms_geomean",
+                    stats::geomean(exec_ms));
+        sink.metric(std::string(label) + "/host_fraction",
+                    sum.host / n);
+        sink.metric(std::string(label) + "/storage_fraction",
+                    sum.storage / n);
     }
 
     std::printf("\nper-workload decomposition for a write-heavy "
@@ -84,5 +95,6 @@ main()
                 "Hetero; Integrated-* spend more\ncycles on flash "
                 "than on computation; DRAM-less cuts storage time "
                 "~51%% vs Integrated-SLC.\n");
+    sink.exportFromEnv();
     return 0;
 }

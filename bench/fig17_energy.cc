@@ -22,6 +22,10 @@ main()
     auto kinds = systems::SystemFactory::evaluationOrder();
     bench::ResultMatrix m = bench::runMatrix(kinds, opts);
 
+    auto sink = bench::makeSink(
+        "fig17_energy", "Figure 17: energy decomposition", opts);
+    sink.add(m);
+
     std::printf("suite totals in mJ:\n");
     std::printf("%-22s %8s %8s %8s %8s %8s %8s %9s\n", "system",
                 "host", "PCIe", "cores", "DRAM", "media", "ctrl",
@@ -36,6 +40,8 @@ main()
         for (const auto &spec : workload::Polybench::all())
             sum += m.at(label).at(spec.name).energy;
         totals[label] = sum.total();
+        sink.metric(std::string(label) + "/suite_energy_j",
+                    sum.total());
         std::printf("%-22s %8.1f %8.1f %8.1f %8.1f %8.1f %8.1f"
                     " %9.1f\n",
                     label, sum.hostStack * 1e3, sum.pcie * 1e3,
@@ -64,5 +70,15 @@ main()
                     m.at(label).at("gemver").energy.total() * 1e3,
                     m.at(label).at("doitg").energy.total() * 1e3);
     }
+
+    sink.metric("ratio_dramless_over_heterodirect",
+                totals["DRAM-less"] / totals["Heterodirect"]);
+    sink.metric("ratio_dramless_over_heterodirect_pram",
+                totals["DRAM-less"] / totals["Heterodirect-PRAM"]);
+    sink.metric("ratio_dramless_over_pagebuffer",
+                totals["DRAM-less"] / totals["PAGE-buffer"]);
+    sink.metric("ratio_dramless_over_hetero",
+                totals["DRAM-less"] / totals["Hetero"]);
+    sink.exportFromEnv();
     return 0;
 }

@@ -8,5 +8,6 @@
 int
 main()
 {
-    return dramless::bench::ipcFigure("Figure 18", "gemver");
+    return dramless::bench::ipcFigure("fig18_ipc_gemver",
+                                      "Figure 18", "gemver");
 }

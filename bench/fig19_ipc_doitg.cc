@@ -8,5 +8,6 @@
 int
 main()
 {
-    return dramless::bench::ipcFigure("Figure 19", "doitg");
+    return dramless::bench::ipcFigure("fig19_ipc_doitg",
+                                      "Figure 19", "doitg");
 }

@@ -9,5 +9,6 @@
 int
 main()
 {
-    return dramless::bench::powerFigure("Figure 20", "gemver");
+    return dramless::bench::powerFigure("fig20_power_gemver",
+                                        "Figure 20", "gemver");
 }

@@ -9,5 +9,6 @@
 int
 main()
 {
-    return dramless::bench::powerFigure("Figure 21", "doitg");
+    return dramless::bench::powerFigure("fig21_power_doitg",
+                                        "Figure 21", "doitg");
 }

@@ -1,8 +1,9 @@
 /**
  * @file
- * Shared helpers for the figure/table regeneration binaries: run
- * matrices over (system, workload), aligned table printing, and the
- * DRAMLESS_SCALE environment knob.
+ * Shared helpers for the figure/table regeneration binaries: parallel
+ * run matrices over (system, workload) via runner::SweepRunner,
+ * aligned table printing, and the environment knobs
+ * (DRAMLESS_SCALE, DRAMLESS_JOBS, DRAMLESS_OUT_JSON/CSV).
  */
 
 #ifndef DRAMLESS_BENCH_HARNESS_HH
@@ -52,30 +53,50 @@ runOne(systems::SystemKind kind, const workload::WorkloadSpec &spec,
 }
 
 /** Results keyed by (system label, workload name). */
-using ResultMatrix =
-    std::map<std::string, std::map<std::string, systems::RunResult>>;
+using ResultMatrix = runner::ResultMatrix;
 
-/** Run @p kinds x the full Polybench suite. */
+/**
+ * Run @p jobs on the shared thread pool (DRAMLESS_JOBS workers, one
+ * per hardware thread when unset) and return results in job order.
+ */
+inline std::vector<systems::RunResult>
+runJobs(const std::vector<runner::SweepJob> &jobs,
+        bool progress = true)
+{
+    runner::SweepRunner pool(runner::jobsFromEnv());
+    return pool.run(jobs,
+                    progress ? runner::stderrProgress() : nullptr);
+}
+
+/** Run @p kinds x the full Polybench suite (in parallel). */
 inline ResultMatrix
 runMatrix(const std::vector<systems::SystemKind> &kinds,
           const systems::SystemOptions &opts,
           bool progress = true)
 {
+    auto jobs = runner::makeMatrixJobs(
+        kinds, workload::Polybench::all(), opts);
     ResultMatrix out;
-    for (systems::SystemKind kind : kinds) {
-        const char *label = systems::SystemFactory::label(kind);
-        for (const auto &spec : workload::Polybench::all()) {
-            if (progress) {
-                std::fprintf(stderr, "  running %-20s %-8s\r", label,
-                             spec.name.c_str());
-                std::fflush(stderr);
-            }
-            out[label][spec.name] = runOne(kind, spec, opts);
-        }
-    }
-    if (progress)
-        std::fprintf(stderr, "%-48s\r", "");
+    std::vector<systems::RunResult> results =
+        runJobs(jobs, progress);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out[jobs[i].system][jobs[i].workload] = results[i];
     return out;
+}
+
+/**
+ * A ResultSink named after the binary, stamped with the run scale.
+ * Finish with sink.exportFromEnv() to honor DRAMLESS_OUT_JSON/CSV.
+ */
+inline runner::ResultSink
+makeSink(const std::string &name, const std::string &description,
+         const systems::SystemOptions &opts)
+{
+    runner::ResultSink sink(name, description);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", opts.workloadScale);
+    sink.label("workload_scale", buf);
+    return sink;
 }
 
 /** Print one row of right-aligned numeric cells. */

@@ -10,9 +10,30 @@
 
 using namespace dramless;
 
+namespace
+{
+
+void
+sinkRow(runner::ResultSink &sink, const systems::SystemInfo &info)
+{
+    std::string base = info.label;
+    sink.label(base + "/heterogeneous",
+               info.heterogeneous ? "yes" : "no");
+    sink.label(base + "/internal_dram",
+               info.internalDram ? "yes" : "no");
+    sink.label(base + "/nvm_read_us", info.nvmRead);
+    sink.label(base + "/nvm_write_us", info.nvmWrite);
+    sink.label(base + "/nvm_erase_us", info.nvmErase);
+}
+
+} // anonymous namespace
+
 int
 main()
 {
+    runner::ResultSink sink(
+        "table1_configs",
+        "Table I: configuration of the evaluated systems");
     std::printf("Table I: configuration of the evaluated systems\n");
     std::printf("%-19s %-6s %-9s %-10s %-10s %-10s\n", "system",
                 "hetero", "int.DRAM", "read(us)", "write(us)",
@@ -26,6 +47,7 @@ main()
                     info.heterogeneous ? "yes" : "no",
                     info.internalDram ? "yes" : "no", info.nvmRead,
                     info.nvmWrite, info.nvmErase);
+        sinkRow(sink, info);
     }
     auto fw = systems::SystemFactory::info(
         systems::SystemKind::dramLessFirmware);
@@ -33,5 +55,7 @@ main()
                 fw.heterogeneous ? "yes" : "no",
                 fw.internalDram ? "yes" : "no", fw.nvmRead,
                 fw.nvmWrite, fw.nvmErase);
+    sinkRow(sink, fw);
+    sink.exportFromEnv();
     return 0;
 }

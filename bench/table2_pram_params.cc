@@ -9,6 +9,7 @@
 
 #include "pram/geometry.hh"
 #include "pram/timing.hh"
+#include "runner/result_sink.hh"
 #include "sim/ticks.hh"
 
 using namespace dramless;
@@ -55,5 +56,27 @@ main()
                 " (%u partitions x %u tiles x 2048 BL x 4096 WL)\n",
                 double(g.moduleBytes()) / double(1ull << 30),
                 g.partitionsPerBank, g.tilesPerPartition);
+
+    runner::ResultSink sink("table2_pram_params",
+                            "Table II: characterized PRAM parameters");
+    sink.metric("rl_cycles", double(t.rl));
+    sink.metric("wl_cycles", double(t.wl));
+    sink.metric("tck_ns", toNs(t.tCK));
+    sink.metric("trcd_ns", toNs(t.tRCD));
+    sink.metric("trp_cycles", double(t.tRP));
+    sink.metric("tdqsck_ns", toNs(t.tDQSCK));
+    sink.metric("tdqss_ns", toNs(t.tDQSS));
+    sink.metric("twra_ns", toNs(t.tWRA));
+    sink.metric("erase_ms", toMs(t.eraseLatency));
+    sink.metric("row_buffers", double(g.numRowBuffers));
+    sink.metric("partitions_per_bank", double(g.partitionsPerBank));
+    sink.metric("tiles_per_partition", double(g.tilesPerPartition));
+    sink.metric("program_slots", double(g.programSlots));
+    sink.metric("read_32b_ns", toNs(read_total));
+    sink.metric("cell_program_us", toUs(t.cellProgram));
+    sink.metric("cell_overwrite_us", toUs(t.cellOverwrite));
+    sink.metric("module_gib",
+                double(g.moduleBytes()) / double(1ull << 30));
+    sink.exportFromEnv();
     return 0;
 }

@@ -17,6 +17,9 @@ int
 main()
 {
     double scale = bench::scaleFromEnv(1.0);
+    runner::ResultSink sink(
+        "table3_workloads",
+        "Table III: characteristics of the evaluated workloads");
     std::printf("Table III: workload characteristics "
                 "(volume scale %.2f)\n",
                 scale);
@@ -37,6 +40,15 @@ main()
                     double(spec.outputBytes) /
                         double(spec.inputBytes),
                     spec.opsPerByte);
+        sink.label(spec.name + "/class",
+                   workload::Polybench::className(spec.klass));
+        sink.label(spec.name + "/pattern",
+                   workload::Polybench::patternName(spec.pattern));
+        sink.metric(spec.name + "/input_bytes",
+                    double(spec.inputBytes));
+        sink.metric(spec.name + "/output_bytes",
+                    double(spec.outputBytes));
+        sink.metric(spec.name + "/ops_per_byte", spec.opsPerByte);
     }
 
     // Measured per-trace statistics for one agent slice.
@@ -72,6 +84,11 @@ main()
                     (unsigned long long)stores,
                     (unsigned long long)instr,
                     double(sb) / double(lb));
+        sink.metric(base.name + "/trace_loads", double(loads));
+        sink.metric(base.name + "/trace_stores", double(stores));
+        sink.metric(base.name + "/trace_instructions",
+                    double(instr));
     }
+    sink.exportFromEnv();
     return 0;
 }

@@ -29,9 +29,25 @@ timeSeriesKinds()
             systems::SystemKind::dramLess};
 }
 
+/** Run @p kinds on one workload concurrently, keyed by label. */
+inline std::map<std::string, systems::RunResult>
+runKindsOnWorkload(const std::vector<systems::SystemKind> &kinds,
+                   const workload::WorkloadSpec &spec,
+                   const systems::SystemOptions &opts)
+{
+    std::vector<runner::SweepJob> jobs;
+    for (auto kind : kinds)
+        jobs.push_back(runner::makeJob(kind, spec, opts));
+    std::vector<systems::RunResult> results = runJobs(jobs);
+    std::map<std::string, systems::RunResult> out;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        out[jobs[i].system] = results[i];
+    return out;
+}
+
 /** Figures 18/19: total IPC over time for workload @p name. */
 inline int
-ipcFigure(const char *figure, const char *name)
+ipcFigure(const char *id, const char *figure, const char *name)
 {
     auto opts = defaultOptions();
     opts.sampleInterval = fromUs(10);
@@ -40,15 +56,15 @@ ipcFigure(const char *figure, const char *name)
                 figure, name, opts.workloadScale);
     const auto &spec = workload::Polybench::byName(name);
 
-    std::map<std::string, systems::RunResult> results;
-    for (auto kind : timeSeriesKinds()) {
-        std::fprintf(stderr, "  running %-20s\r",
-                     systems::SystemFactory::label(kind));
-        std::fflush(stderr);
-        results[systems::SystemFactory::label(kind)] =
-            runOne(kind, spec, opts);
-    }
-    std::fprintf(stderr, "%-32s\r", "");
+    auto results = runKindsOnWorkload(timeSeriesKinds(), spec, opts);
+
+    auto sink = makeSink(
+        id, std::string(figure) + ": total IPC over time, " + name,
+        opts);
+    // The series are the figure: export them at full resolution.
+    sink.setSeriesPoints(0);
+    for (const auto &[_, r] : results)
+        sink.add(r);
 
     // Common time axis: plot each series against the slowest run so
     // idle (zero-IPC) gaps are visible.
@@ -71,24 +87,28 @@ ipcFigure(const char *figure, const char *name)
             peak = std::max(peak, p.value);
             zeros += p.value < 0.05 ? 1 : 0;
         }
+        double zero_frac =
+            double(zeros) /
+            double(std::max<std::size_t>(1, r.ipc.size()));
         std::printf("%-22s %10.2f %10.2f %11.1f%% %10.2f\n", label,
-                    r.ipc.mean(), peak,
-                    100.0 * double(zeros) /
-                        double(std::max<std::size_t>(
-                            1, r.ipc.size())),
+                    r.ipc.mean(), peak, 100.0 * zero_frac,
                     toMs(r.execTime));
+        sink.metric(std::string(label) + "/mean_ipc", r.ipc.mean());
+        sink.metric(std::string(label) + "/zero_ipc_fraction",
+                    zero_frac);
     }
     std::printf("\npaper shapes: page-granule systems show idle "
                 "(zero-IPC) periods during storage\naccesses; "
                 "DRAM-less and NOR-intf sustain nonzero IPC; "
                 "DRAM-less's IPC dominates.\n");
+    sink.exportFromEnv();
     return 0;
 }
 
 /** Figures 20/21: core power and cumulative energy for the first
  *  16 KiB of data processing of workload @p name. */
 inline int
-powerFigure(const char *figure, const char *name)
+powerFigure(const char *id, const char *figure, const char *name)
 {
     auto opts = defaultOptions();
     // First-16KiB capture: shrink the workload so the suite's
@@ -108,11 +128,16 @@ powerFigure(const char *figure, const char *name)
         systems::SystemKind::dramLess,
     };
 
-    std::map<std::string, systems::RunResult> results;
-    for (auto kind : kinds) {
-        results[systems::SystemFactory::label(kind)] =
-            runOne(kind, base, opts);
-    }
+    auto results = runKindsOnWorkload(kinds, base, opts);
+
+    auto sink = makeSink(
+        id, std::string(figure) +
+                ": core power and total energy, first 16 KiB of " +
+                name,
+        opts);
+    sink.setSeriesPoints(0);
+    for (const auto &[_, r] : results)
+        sink.add(r);
 
     std::printf("agent core power over time (60 buckets; "
                 "'@'=10 W):\n");
@@ -130,12 +155,17 @@ powerFigure(const char *figure, const char *name)
         std::printf("%-22s %12.2f %12.3f %14.1f\n", label,
                     r.corePower.timeWeightedMean(), toMs(r.execTime),
                     r.energy.total() * 1e6);
+        sink.metric(std::string(label) + "/mean_power_w",
+                    r.corePower.timeWeightedMean());
+        sink.metric(std::string(label) + "/total_energy_j",
+                    r.energy.total());
     }
     std::printf("\npaper shapes: NOR-intf runs at the lowest core "
                 "power (its .D units stall the\nother FUs) but takes "
                 "so long that its energy exceeds DRAM-less; "
                 "DRAM-less\nfinishes first at moderate power, with "
                 "the lowest total energy.\n");
+    sink.exportFromEnv();
     return 0;
 }
 

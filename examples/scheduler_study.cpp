@@ -3,7 +3,8 @@
  * Scheduler study: the Figure 13 experiment as an application. Runs
  * a write-heavy and a read-heavy kernel under the four PRAM
  * scheduler configurations (Bare-metal, Interleaving,
- * selective-erasing, Final) and prints the bandwidth each achieves.
+ * selective-erasing, Final) concurrently on the SweepRunner thread
+ * pool and prints the bandwidth each achieves.
  */
 
 #include <cstdio>
@@ -30,21 +31,45 @@ main()
          ctrl::SchedulerConfig::selectiveErasingOnly()},
         {"Final", ctrl::SchedulerConfig::finalConfig()},
     };
+    const std::vector<const char *> workloads = {"trmm", "doitg"};
 
-    for (const char *wl : {"trmm", "doitg"}) {
+    // Every (workload, variant) pair is an independent simulation
+    // with its own accelerator instance — run them all concurrently.
+    std::vector<runner::SweepJob> jobs;
+    for (const char *wl : workloads) {
+        auto spec = workload::Polybench::byName(wl).scaled(0.1);
+        for (const Variant &v : variants) {
+            jobs.push_back(runner::SweepJob{
+                v.label, wl, [spec, v]() {
+                    core::DramLessConfig cfg;
+                    cfg.scheduler = v.cfg;
+                    cfg.functional = false; // timing-only: faster
+                    core::DramLessAccelerator dl(cfg);
+                    core::OffloadResult r = dl.offload(spec);
+                    systems::RunResult res;
+                    res.system = v.label;
+                    res.workload = spec.name;
+                    res.execTime = fromSec(r.seconds);
+                    res.bytesProcessed = spec.totalBytes();
+                    res.bandwidthMBps =
+                        double(spec.totalBytes()) / r.seconds / 1e6;
+                    return res;
+                }});
+        }
+    }
+
+    runner::SweepRunner pool(runner::jobsFromEnv());
+    auto results = pool.run(jobs);
+
+    std::size_t idx = 0;
+    for (const char *wl : workloads) {
         auto spec = workload::Polybench::byName(wl).scaled(0.1);
         std::printf("%s (write ratio %.0f%%, %s)\n", wl,
                     spec.writeRatio() * 100,
                     workload::Polybench::patternName(spec.pattern));
         double base = 0.0;
         for (const Variant &v : variants) {
-            core::DramLessConfig cfg;
-            cfg.scheduler = v.cfg;
-            cfg.functional = false; // timing-only: faster
-            core::DramLessAccelerator dl(cfg);
-            core::OffloadResult r = dl.offload(spec);
-            double mbps =
-                double(spec.totalBytes()) / r.seconds / 1e6;
+            double mbps = results[idx++].bandwidthMBps;
             if (v.cfg.label() == "Bare-metal")
                 base = mbps;
             std::printf("  %-18s %8.1f MB/s  (%.2fx)\n", v.label,

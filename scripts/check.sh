@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 gate: configure, build, and run the full test suite exactly
+# the way CI does. Usage:
+#
+#   scripts/check.sh [build-dir]
+#
+# Environment:
+#   DRAMLESS_JOBS    worker threads for parallel sweeps inside the
+#                    tests/benches (default: 2, so the thread pool is
+#                    exercised even on small CI machines)
+#   DRAMLESS_WERROR  set to ON to build with -Werror
+#   CMAKE_GENERATOR  honored as usual (e.g. Ninja)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+: "${DRAMLESS_JOBS:=2}"
+export DRAMLESS_JOBS
+
+cmake -B "$build_dir" -S "$repo_root" \
+    -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+echo "check.sh: all tests passed (DRAMLESS_JOBS=$DRAMLESS_JOBS)"

@@ -14,6 +14,8 @@
 
 #include "core/dramless_accelerator.hh"
 #include "core/kernel_image.hh"
+#include "runner/result_sink.hh"
+#include "runner/sweep_runner.hh"
 #include "systems/factory.hh"
 #include "workload/polybench.hh"
 #include "workload/trace_gen.hh"

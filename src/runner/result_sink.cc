@@ -1,0 +1,179 @@
+#include "runner/result_sink.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+ResultSink::ResultSink(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description))
+{}
+
+void
+ResultSink::add(const ResultMatrix &matrix)
+{
+    for (const auto &[_, row] : matrix)
+        for (const auto &[__, r] : row)
+            runs_.push_back(r);
+}
+
+void
+ResultSink::metric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+void
+ResultSink::label(const std::string &key, const std::string &value)
+{
+    labels_.emplace_back(key, value);
+}
+
+ResultMatrix
+ResultSink::matrix() const
+{
+    ResultMatrix m;
+    for (const auto &r : runs_)
+        m[r.system][r.workload] = r;
+    return m;
+}
+
+namespace
+{
+
+void
+writeRun(json::JsonWriter &w, const systems::RunResult &r,
+         std::size_t series_points)
+{
+    w.beginObject();
+    w.keyValue("system", r.system);
+    w.keyValue("workload", r.workload);
+    w.keyValue("exec_time_ticks", r.execTime);
+    w.keyValue("host_stack_ticks", r.hostStackTime);
+    w.keyValue("transfer_ticks", r.transferTime);
+    w.keyValue("storage_stall_ticks", r.storageStallTime);
+    w.keyValue("compute_ticks", r.computeTime);
+    w.keyValue("bandwidth_mbps", r.bandwidthMBps);
+    w.keyValue("total_instructions", r.totalInstructions);
+    w.keyValue("bytes_processed", r.bytesProcessed);
+
+    w.key("energy_j").beginObject();
+    w.keyValue("host_stack", r.energy.hostStack);
+    w.keyValue("pcie", r.energy.pcie);
+    w.keyValue("accel_cores", r.energy.accelCores);
+    w.keyValue("dram", r.energy.dram);
+    w.keyValue("storage_media", r.energy.storageMedia);
+    w.keyValue("controller", r.energy.controller);
+    w.keyValue("total", r.energy.total());
+    w.endObject();
+
+    w.key("ipc");
+    json::write(w, r.ipc, series_points);
+    w.key("core_power_w");
+    json::write(w, r.corePower, series_points);
+    w.key("cumulative_energy_j");
+    json::write(w, r.cumulativeEnergy, series_points);
+    w.endObject();
+}
+
+} // anonymous namespace
+
+void
+ResultSink::writeJson(std::ostream &os) const
+{
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.keyValue("experiment", name_);
+    w.keyValue("description", description_);
+
+    w.key("labels").beginObject();
+    for (const auto &[k, v] : labels_)
+        w.keyValue(k, v);
+    w.endObject();
+
+    w.key("metrics").beginObject();
+    for (const auto &[k, v] : metrics_)
+        w.keyValue(k, v);
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const auto &r : runs_)
+        writeRun(w, r, seriesPoints_);
+    w.endArray();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+ResultSink::writeCsv(std::ostream &os) const
+{
+    os << "system,workload,exec_time_ticks,host_stack_ticks,"
+          "transfer_ticks,storage_stall_ticks,compute_ticks,"
+          "bandwidth_mbps,total_instructions,bytes_processed,"
+          "energy_host_stack_j,energy_pcie_j,energy_accel_cores_j,"
+          "energy_dram_j,energy_storage_media_j,energy_controller_j,"
+          "energy_total_j,ipc_mean,core_power_mean_w\n";
+    for (const auto &r : runs_) {
+        os << json::csvField(r.system) << ','
+           << json::csvField(r.workload) << ',' << r.execTime << ','
+           << r.hostStackTime << ',' << r.transferTime << ','
+           << r.storageStallTime << ',' << r.computeTime << ','
+           << json::number(r.bandwidthMBps) << ','
+           << r.totalInstructions << ',' << r.bytesProcessed << ','
+           << json::number(r.energy.hostStack) << ','
+           << json::number(r.energy.pcie) << ','
+           << json::number(r.energy.accelCores) << ','
+           << json::number(r.energy.dram) << ','
+           << json::number(r.energy.storageMedia) << ','
+           << json::number(r.energy.controller) << ','
+           << json::number(r.energy.total()) << ','
+           << json::number(r.ipc.mean()) << ','
+           << json::number(r.corePower.timeWeightedMean()) << '\n';
+    }
+}
+
+namespace
+{
+
+void
+writeTo(const char *path, const char *what,
+        const std::function<void(std::ostream &)> &emit)
+{
+    if (std::string(path) == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(path);
+    fatal_if(!out.is_open(), "cannot open %s output file '%s'", what,
+             path);
+    emit(out);
+    fatal_if(!out.good(), "error writing %s output file '%s'", what,
+             path);
+}
+
+} // anonymous namespace
+
+void
+ResultSink::exportFromEnv() const
+{
+    if (const char *path = std::getenv("DRAMLESS_OUT_JSON")) {
+        writeTo(path, "JSON",
+                [this](std::ostream &os) { writeJson(os); });
+    }
+    if (const char *path = std::getenv("DRAMLESS_OUT_CSV")) {
+        writeTo(path, "CSV",
+                [this](std::ostream &os) { writeCsv(os); });
+    }
+}
+
+} // namespace runner
+} // namespace dramless

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Structured result collection and export.
+ *
+ * Every bench binary funnels its results through a ResultSink: the
+ * per-run RunResult records plus any derived metrics (geomeans,
+ * headline ratios) and descriptive labels. The sink renders the whole
+ * collection as machine-readable JSON or CSV, so one code path backs
+ * the DRAMLESS_OUT_JSON / DRAMLESS_OUT_CSV knobs of all binaries and
+ * future BENCH_*.json perf tracking.
+ */
+
+#ifndef DRAMLESS_RUNNER_RESULT_SINK_HH
+#define DRAMLESS_RUNNER_RESULT_SINK_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "systems/metrics.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+/** Results keyed by (system label, workload name). */
+using ResultMatrix =
+    std::map<std::string, std::map<std::string, systems::RunResult>>;
+
+/** Collects runs and derived metrics for structured export. */
+class ResultSink
+{
+  public:
+    /**
+     * @param name experiment name (e.g. "fig15_bandwidth")
+     * @param description one-line human description
+     */
+    explicit ResultSink(std::string name,
+                        std::string description = "");
+
+    /** Append one run record. */
+    void add(const systems::RunResult &r) { runs_.push_back(r); }
+
+    /** Append every run of @p matrix in key order. */
+    void add(const ResultMatrix &matrix);
+
+    /** Record a derived numeric metric (insertion order kept). */
+    void metric(const std::string &key, double value);
+
+    /** Record a descriptive string label (insertion order kept). */
+    void label(const std::string &key, const std::string &value);
+
+    /** @return the collected runs in insertion order. */
+    const std::vector<systems::RunResult> &runs() const
+    {
+        return runs_;
+    }
+
+    /** @return the runs regrouped as a (system, workload) matrix. */
+    ResultMatrix matrix() const;
+
+    /**
+     * Cap on time-series samples per run in the JSON export;
+     * 0 keeps full series. Defaults to 64 points so a full
+     * 10x15 matrix stays compact.
+     */
+    void setSeriesPoints(std::size_t n) { seriesPoints_ = n; }
+
+    /**
+     * Write the whole collection as one JSON document:
+     * {"experiment","description","labels","metrics","runs"}.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Write the runs as CSV: one header row plus one row per run
+     * (scalar fields only; series are summarized by their means).
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Honor the export environment knobs: write JSON to the path in
+     * DRAMLESS_OUT_JSON and/or CSV to DRAMLESS_OUT_CSV when set
+     * (a value of "-" selects stdout). fatal() on unwritable paths.
+     */
+    void exportFromEnv() const;
+
+  private:
+    std::string name_;
+    std::string description_;
+    std::vector<systems::RunResult> runs_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+    std::size_t seriesPoints_ = 64;
+};
+
+} // namespace runner
+} // namespace dramless
+
+#endif // DRAMLESS_RUNNER_RESULT_SINK_HH

@@ -1,0 +1,139 @@
+#include "runner/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+SweepJob
+makeJob(systems::SystemKind kind, const workload::WorkloadSpec &spec,
+        const systems::SystemOptions &opts)
+{
+    return SweepJob{
+        systems::SystemFactory::label(kind), spec.name,
+        [kind, spec, opts]() {
+            auto sys = systems::SystemFactory::create(kind, opts);
+            return sys->run(spec);
+        }};
+}
+
+std::vector<SweepJob>
+makeMatrixJobs(const std::vector<systems::SystemKind> &kinds,
+               const std::vector<workload::WorkloadSpec> &specs,
+               const systems::SystemOptions &opts)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(kinds.size() * specs.size());
+    for (systems::SystemKind kind : kinds)
+        for (const auto &spec : specs)
+            jobs.push_back(makeJob(kind, spec, opts));
+    return jobs;
+}
+
+unsigned
+jobsFromEnv()
+{
+    const char *env = std::getenv("DRAMLESS_JOBS");
+    if (env == nullptr)
+        return 0;
+    long v = std::atol(env);
+    return v > 0 ? unsigned(v) : 0;
+}
+
+SweepRunner::SweepRunner(unsigned num_workers)
+    : numWorkers_(num_workers)
+{
+    if (numWorkers_ == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        numWorkers_ = hw > 0 ? hw : 1;
+    }
+}
+
+std::vector<systems::RunResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const Progress &progress) const
+{
+    std::vector<systems::RunResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMutex;
+    std::atomic<bool> failed{false};
+    std::string failMessage;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size() ||
+                failed.load(std::memory_order_relaxed)) {
+                return;
+            }
+            try {
+                results[i] = jobs[i].run();
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                failed.store(true, std::memory_order_relaxed);
+                failMessage = csprintf(
+                    "sweep job '%s/%s' failed: %s",
+                    jobs[i].system.c_str(), jobs[i].workload.c_str(),
+                    e.what());
+                return;
+            }
+            std::size_t d =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progress(d, jobs.size(), jobs[i]);
+            }
+        }
+    };
+
+    unsigned workers =
+        unsigned(std::min<std::size_t>(numWorkers_, jobs.size()));
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (failed.load(std::memory_order_relaxed))
+        fatal("%s", failMessage.c_str());
+    return results;
+}
+
+SweepRunner::Progress
+stderrProgress()
+{
+    return [](std::size_t done, std::size_t total,
+              const SweepJob &job) {
+        if (done == total) {
+            std::fprintf(stderr, "%-60s\r", "");
+        } else {
+            std::fprintf(stderr, "  [%3zu/%3zu] %-24s %-12s\r", done,
+                         total, job.system.c_str(),
+                         job.workload.c_str());
+        }
+        std::fflush(stderr);
+    };
+}
+
+} // namespace runner
+} // namespace dramless

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * Every evaluation in the reproduction is a matrix of independent
+ * (system, workload) simulations: each job builds a private system
+ * instance with its own EventQueue, runs one workload, and returns a
+ * RunResult. Nothing is shared between jobs, so the matrix is
+ * embarrassingly parallel and per-run determinism is untouched —
+ * SweepRunner executes jobs on a thread pool and stores results by
+ * job index, so the output is bit-identical to a serial run of the
+ * same job list regardless of worker count or scheduling order.
+ */
+
+#ifndef DRAMLESS_RUNNER_SWEEP_RUNNER_HH
+#define DRAMLESS_RUNNER_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "systems/factory.hh"
+#include "systems/metrics.hh"
+#include "systems/system.hh"
+#include "workload/polybench.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+/**
+ * One independent simulation. @c run constructs everything the job
+ * needs (system instance, event queue) and must not touch shared
+ * mutable state; the labels only name the job for progress output and
+ * result keying.
+ */
+struct SweepJob
+{
+    /** System label (result matrix row). */
+    std::string system;
+    /** Workload label (result matrix column). */
+    std::string workload;
+    /** Build a fresh system and run the workload. */
+    std::function<systems::RunResult()> run;
+};
+
+/** Build the canonical job for (kind, spec) under @p opts. */
+SweepJob makeJob(systems::SystemKind kind,
+                 const workload::WorkloadSpec &spec,
+                 const systems::SystemOptions &opts);
+
+/** Cross product @p kinds x @p specs in row-major (kind-major) order. */
+std::vector<SweepJob>
+makeMatrixJobs(const std::vector<systems::SystemKind> &kinds,
+               const std::vector<workload::WorkloadSpec> &specs,
+               const systems::SystemOptions &opts);
+
+/**
+ * Worker count taken from the DRAMLESS_JOBS environment variable;
+ * 0 or unset means one worker per hardware thread.
+ */
+unsigned jobsFromEnv();
+
+/** Thread-pool executor for SweepJob lists. */
+class SweepRunner
+{
+  public:
+    /** Called after each job completes: (done, total, finished job). */
+    using Progress =
+        std::function<void(std::size_t, std::size_t, const SweepJob &)>;
+
+    /**
+     * @param num_workers worker threads; 0 means one per hardware
+     *        thread (and at least one)
+     */
+    explicit SweepRunner(unsigned num_workers = 0);
+
+    /** @return the resolved worker count. */
+    unsigned numWorkers() const { return numWorkers_; }
+
+    /**
+     * Run every job and return results in job order. Jobs are handed
+     * to workers in index order; with one worker this degenerates to
+     * a plain serial loop on the calling thread. A job that throws
+     * std::exception aborts the sweep via fatal(): results feed
+     * golden-file comparisons, so a partially-failed matrix must
+     * never be silently exported.
+     *
+     * @param progress optional completion callback, invoked from
+     *        worker threads under an internal mutex (safe to print).
+     */
+    std::vector<systems::RunResult>
+    run(const std::vector<SweepJob> &jobs,
+        const Progress &progress = nullptr) const;
+
+  private:
+    unsigned numWorkers_;
+};
+
+/**
+ * Progress callback that repaints one stderr status line
+ * ("[done/total] system workload") and clears it when done.
+ */
+SweepRunner::Progress stderrProgress();
+
+} // namespace runner
+} // namespace dramless
+
+#endif // DRAMLESS_RUNNER_SWEEP_RUNNER_HH

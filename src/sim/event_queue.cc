@@ -25,6 +25,7 @@ EventQueue::schedule(Event *ev, Tick when, int priority)
     ev->_priority = priority;
     ev->_seq = nextSeq_++;
     ev->_scheduled = true;
+    ev->_queue = this;
     heap_.push(Entry{when, priority, ev->_seq, ev});
     ++numPending_;
 }
@@ -35,27 +36,43 @@ EventQueue::deschedule(Event *ev)
     panic_if(ev == nullptr, "descheduling null event");
     panic_if(!ev->_scheduled, "event '%s' not scheduled",
              ev->name().c_str());
-    // Lazy removal: mark the event idle; the heap entry becomes stale and
-    // is discarded when it reaches the top.
+    panic_if(ev->_queue != this,
+             "event '%s' descheduled from a queue it is not on",
+             ev->name().c_str());
+    // Lazy removal: mark the entry's sequence number stale; the heap
+    // entry is discarded when it reaches the top. The event pointer in
+    // the stale entry is never dereferenced again, so the event may be
+    // destroyed (or rescheduled on another queue) immediately.
+    staleSeqs_.insert(ev->_seq);
     ev->_scheduled = false;
+    ev->_queue = nullptr;
     --numPending_;
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when, int priority)
 {
+    panic_if(ev == nullptr, "rescheduling null event");
+    // Check the precondition up front: a failed reschedule must not
+    // leave the event descheduled as a side effect.
+    panic_if(when < _curTick,
+             "event '%s' rescheduled into the past (%llu < %llu)",
+             ev->name().c_str(),
+             (unsigned long long)when, (unsigned long long)_curTick);
     if (ev->_scheduled)
         deschedule(ev);
     schedule(ev, when, priority);
 }
 
 void
-EventQueue::skipStale()
+EventQueue::skipStale() const
 {
     while (!heap_.empty()) {
         const Entry &top = heap_.top();
-        if (top.ev->_scheduled && top.ev->_seq == top.seq)
+        auto it = staleSeqs_.find(top.seq);
+        if (it == staleSeqs_.end())
             return;
+        staleSeqs_.erase(it);
         heap_.pop();
     }
 }
@@ -63,9 +80,7 @@ EventQueue::skipStale()
 Tick
 EventQueue::nextTick() const
 {
-    // skipStale() is not const; emulate it on a copy of the top entries.
-    auto *self = const_cast<EventQueue *>(this);
-    self->skipStale();
+    skipStale();
     return heap_.empty() ? maxTick : heap_.top().when;
 }
 
@@ -81,6 +96,7 @@ EventQueue::step()
     panic_if(top.when < _curTick, "time went backwards");
     _curTick = top.when;
     top.ev->_scheduled = false;
+    top.ev->_queue = nullptr;
     --numPending_;
     ++numProcessed_;
     top.ev->process();

@@ -13,6 +13,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -51,6 +52,9 @@ class Event
     /** @return the tick the event is scheduled for. */
     Tick when() const { return _when; }
 
+    /** @return the event's current same-tick priority. */
+    int priority() const { return _priority; }
+
   private:
     friend class EventQueue;
 
@@ -58,6 +62,8 @@ class Event
     int _priority = defaultPriority;
     std::uint64_t _seq = 0;
     bool _scheduled = false;
+    /** The queue the event is scheduled on (null while idle). */
+    EventQueue *_queue = nullptr;
 };
 
 /** An event that invokes a bound callable; convenient for members. */
@@ -101,10 +107,21 @@ class EventQueue
      */
     void schedule(Event *ev, Tick when, int priority = 0);
 
-    /** Remove a scheduled event from the queue. */
+    /**
+     * Remove a scheduled event from the queue.
+     * @pre the event is scheduled, and scheduled on this queue.
+     */
     void deschedule(Event *ev);
 
-    /** Move a scheduled (or idle) event to a new tick. */
+    /**
+     * Move a scheduled (or idle) event to a new tick; scheduling an
+     * idle event to the current tick is explicitly supported. The
+     * when >= curTick() precondition is checked before any state
+     * changes, so a precondition failure never half-updates the
+     * event.
+     * @pre when >= curTick(), and if the event is scheduled it is
+     *      scheduled on this queue.
+     */
     void reschedule(Event *ev, Tick when, int priority = 0);
 
     /** @return true when no events remain pending. */
@@ -153,11 +170,19 @@ class EventQueue
         }
     };
 
-    /** Pop stale (descheduled/rescheduled) entries off the heap top. */
-    void skipStale();
+    /**
+     * Pop stale (descheduled/rescheduled) entries off the heap top.
+     * Staleness is tracked by sequence number in staleSeqs_, never by
+     * dereferencing the entry's event: a descheduled event may be
+     * destroyed before its lazy heap entry surfaces.
+     */
+    void skipStale() const;
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>>
         heap_;
+    /** Sequence numbers of lazily-removed heap entries. */
+    mutable std::unordered_set<std::uint64_t> staleSeqs_;
     Tick _curTick = 0;
     std::uint64_t nextSeq_ = 1;
     std::size_t numPending_ = 0;

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Determinism guarantees of the parallel experiment runner: running
+ * the same (system, workload) configurations through SweepRunner
+ * with any worker count must produce stats snapshots bit-identical
+ * to a serial run. Each job owns a private EventQueue and system
+ * instance, so this holds by construction — these tests lock it in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "runner/sweep_runner.hh"
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace
+{
+
+using runner::SweepJob;
+using runner::SweepRunner;
+using systems::RunResult;
+using systems::SystemKind;
+
+/** Tiny but non-trivial configuration for fast runs. */
+systems::SystemOptions
+tinyOptions()
+{
+    setQuiet(true);
+    systems::SystemOptions opts;
+    opts.workloadScale = 0.02;
+    return opts;
+}
+
+/** A small mixed job list covering three organizations. */
+std::vector<SweepJob>
+sampleJobs()
+{
+    const std::vector<SystemKind> kinds = {
+        SystemKind::dramLess,
+        SystemKind::integratedSlc,
+        SystemKind::hetero,
+    };
+    std::vector<workload::WorkloadSpec> specs = {
+        workload::Polybench::byName("gemver"),
+        workload::Polybench::byName("doitg"),
+        workload::Polybench::byName("trmm"),
+    };
+    return runner::makeMatrixJobs(kinds, specs, tinyOptions());
+}
+
+void
+expectSeriesIdentical(const stats::TimeSeries &a,
+                      const stats::TimeSeries &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Bit-identical: exact tick and exact double equality.
+        EXPECT_EQ(a.samples()[i].when, b.samples()[i].when);
+        EXPECT_EQ(a.samples()[i].value, b.samples()[i].value);
+    }
+}
+
+void
+expectResultIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.system, b.system);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.hostStackTime, b.hostStackTime);
+    EXPECT_EQ(a.transferTime, b.transferTime);
+    EXPECT_EQ(a.storageStallTime, b.storageStallTime);
+    EXPECT_EQ(a.computeTime, b.computeTime);
+    EXPECT_EQ(a.bandwidthMBps, b.bandwidthMBps);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    EXPECT_EQ(a.bytesProcessed, b.bytesProcessed);
+    EXPECT_EQ(a.energy.hostStack, b.energy.hostStack);
+    EXPECT_EQ(a.energy.pcie, b.energy.pcie);
+    EXPECT_EQ(a.energy.accelCores, b.energy.accelCores);
+    EXPECT_EQ(a.energy.dram, b.energy.dram);
+    EXPECT_EQ(a.energy.storageMedia, b.energy.storageMedia);
+    EXPECT_EQ(a.energy.controller, b.energy.controller);
+    expectSeriesIdentical(a.ipc, b.ipc);
+    expectSeriesIdentical(a.corePower, b.corePower);
+    expectSeriesIdentical(a.cumulativeEnergy, b.cumulativeEnergy);
+}
+
+TEST(DeterminismTest, RepeatedSerialRunsAreBitIdentical)
+{
+    auto opts = tinyOptions();
+    const auto &spec = workload::Polybench::byName("gemver");
+    auto a = systems::SystemFactory::create(SystemKind::dramLess,
+                                            opts)
+                 ->run(spec);
+    auto b = systems::SystemFactory::create(SystemKind::dramLess,
+                                            opts)
+                 ->run(spec);
+    expectResultIdentical(a, b);
+}
+
+TEST(DeterminismTest, ParallelSweepMatchesSerialSweep)
+{
+    auto jobs = sampleJobs();
+
+    SweepRunner serial(1);
+    std::vector<RunResult> ref = serial.run(jobs);
+    ASSERT_EQ(ref.size(), jobs.size());
+
+    SweepRunner parallel(4);
+    ASSERT_EQ(parallel.numWorkers(), 4u);
+    std::vector<RunResult> par = parallel.run(jobs);
+    ASSERT_EQ(par.size(), ref.size());
+
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE(jobs[i].system + "/" + jobs[i].workload);
+        expectResultIdentical(ref[i], par[i]);
+    }
+}
+
+TEST(DeterminismTest, DramlessJobsEnvSelectsWorkerCount)
+{
+    ASSERT_EQ(setenv("DRAMLESS_JOBS", "3", 1), 0);
+    EXPECT_EQ(runner::jobsFromEnv(), 3u);
+    SweepRunner pool(runner::jobsFromEnv());
+    EXPECT_EQ(pool.numWorkers(), 3u);
+
+    // A run through the env-selected pool is still bit-identical
+    // to a serial run.
+    auto jobs = sampleJobs();
+    jobs.resize(3);
+    auto par = pool.run(jobs);
+    auto ref = SweepRunner(1).run(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(jobs[i].system + "/" + jobs[i].workload);
+        expectResultIdentical(ref[i], par[i]);
+    }
+
+    ASSERT_EQ(unsetenv("DRAMLESS_JOBS"), 0);
+    EXPECT_EQ(runner::jobsFromEnv(), 0u);
+}
+
+TEST(DeterminismTest, ResultsKeepJobOrderRegardlessOfFinishOrder)
+{
+    // Mix fast and slow jobs so completion order differs from
+    // submission order under parallel execution.
+    auto opts = tinyOptions();
+    std::vector<SweepJob> jobs;
+    jobs.push_back(runner::makeJob(
+        SystemKind::norIntf, workload::Polybench::byName("durbin"),
+        opts)); // slowest organization
+    jobs.push_back(runner::makeJob(
+        SystemKind::ideal, workload::Polybench::byName("trisolv"),
+        opts)); // fastest
+    jobs.push_back(runner::makeJob(
+        SystemKind::dramLess, workload::Polybench::byName("jaco1D"),
+        opts));
+
+    auto results = SweepRunner(3).run(jobs);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].system, "NOR-intf");
+    EXPECT_EQ(results[0].workload, "durbin");
+    EXPECT_EQ(results[1].system, "Ideal");
+    EXPECT_EQ(results[1].workload, "trisolv");
+    EXPECT_EQ(results[2].system, "DRAM-less");
+    EXPECT_EQ(results[2].workload, "jaco1D");
+}
+
+TEST(DeterminismTest, ProgressReportsEveryCompletion)
+{
+    auto jobs = sampleJobs();
+    jobs.resize(4);
+    std::vector<std::size_t> seen;
+    std::size_t total = 0;
+    SweepRunner pool(2);
+    pool.run(jobs, [&](std::size_t done, std::size_t n,
+                       const SweepJob &) {
+        seen.push_back(done);
+        total = n;
+    });
+    EXPECT_EQ(total, jobs.size());
+    // Every completion count 1..N observed exactly once (the
+    // callback runs under a mutex, but order may vary).
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(), jobs.size());
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+}
+
+} // namespace
+} // namespace dramless

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests of the structured export layer: the JSON writer (escaping,
+ * round-trip number formatting, non-finite handling, stats
+ * serialization) and the ResultSink CSV/JSON renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "runner/result_sink.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// json::escape
+// ---------------------------------------------------------------
+
+TEST(JsonEscapeTest, PlainStringsPassThrough)
+{
+    EXPECT_EQ(json::escape("gemver"), "gemver");
+    EXPECT_EQ(json::escape("DRAM-less (firmware)"),
+              "DRAM-less (firmware)");
+}
+
+TEST(JsonEscapeTest, QuotesAndBackslashes)
+{
+    EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, ControlCharacters)
+{
+    EXPECT_EQ(json::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(json::escape("a\tb"), "a\\tb");
+    EXPECT_EQ(json::escape("a\rb"), "a\\rb");
+    EXPECT_EQ(json::escape(std::string("a") + '\x01' + "b"),
+              "a\\u0001b");
+    EXPECT_EQ(json::escape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscapeTest, Utf8BytesAreLeftAlone)
+{
+    // Multi-byte UTF-8 sequences are valid inside JSON strings.
+    EXPECT_EQ(json::escape("µs latency"), "µs latency");
+}
+
+// ---------------------------------------------------------------
+// json::number
+// ---------------------------------------------------------------
+
+TEST(JsonNumberTest, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(json::number(std::nan("")), "null");
+    EXPECT_EQ(json::number(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(json::number(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonNumberTest, RoundTripsExactly)
+{
+    const double values[] = {
+        0.0,       1.0,         -1.5,          0.1,
+        1.0 / 3.0, 1e-300,      1.7976931e308, 123456789.123456789,
+        2.5e-10,   3.14159265358979311599796346854,
+    };
+    for (double v : values) {
+        std::string tok = json::number(v);
+        char *end = nullptr;
+        double back = std::strtod(tok.c_str(), &end);
+        EXPECT_EQ(*end, '\0') << tok;
+        EXPECT_EQ(back, v) << tok;
+    }
+}
+
+TEST(JsonNumberTest, PrefersShortRepresentation)
+{
+    // %.15g suffices for these; no 17-digit noise.
+    EXPECT_EQ(json::number(0.1), "0.1");
+    EXPECT_EQ(json::number(2.0), "2");
+    EXPECT_EQ(json::number(-42.5), "-42.5");
+}
+
+// ---------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------
+
+TEST(JsonWriterTest, CompactDocument)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject()
+        .keyValue("name", "sweep")
+        .key("counts")
+        .beginArray()
+        .value(1)
+        .value(2)
+        .value(3)
+        .endArray()
+        .keyValue("ok", true)
+        .key("missing")
+        .null()
+        .endObject();
+    EXPECT_TRUE(w.complete());
+    EXPECT_EQ(os.str(), "{\"name\":\"sweep\",\"counts\":[1,2,3],"
+                        "\"ok\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NonFiniteValueSerializesAsNull)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os, false);
+    w.beginArray()
+        .value(std::nan(""))
+        .value(std::numeric_limits<double>::infinity())
+        .endArray();
+    EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, LargeIntegersKeepFullPrecision)
+{
+    // uint64 values beyond 2^53 must not go through a double.
+    std::ostringstream os;
+    json::JsonWriter w(os, false);
+    w.beginArray()
+        .value(std::uint64_t(18446744073709551615ull))
+        .value(std::int64_t(-9007199254740993ll))
+        .endArray();
+    EXPECT_EQ(os.str(), "[18446744073709551615,-9007199254740993]");
+}
+
+TEST(JsonWriterDeathTest, MismatchedEndPanics)
+{
+    setQuiet(true);
+    EXPECT_DEATH(
+        {
+            std::ostringstream os;
+            json::JsonWriter w(os, false);
+            w.beginObject().endArray();
+        },
+        "endArray");
+}
+
+// ---------------------------------------------------------------
+// stats serialization
+// ---------------------------------------------------------------
+
+/** Parse-check helper: the fragment must be valid standalone JSON. */
+std::string
+writeFragment(const std::function<void(json::JsonWriter &)> &fn)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os, false);
+    fn(w);
+    EXPECT_TRUE(w.complete());
+    return os.str();
+}
+
+TEST(StatsJsonTest, HistogramSerializesBuckets)
+{
+    stats::Histogram h("lat", 0.0, 4.0, 4);
+    h.sample(0.5);      // bucket 0
+    h.sample(1.5);      // bucket 1
+    h.sample(1.6);      // bucket 1
+    h.sample(-1.0);     // underflow
+    h.sample(9.0, 2);   // overflow, weight 2
+    std::string doc =
+        writeFragment([&](json::JsonWriter &w) { json::write(w, h); });
+    EXPECT_NE(doc.find("\"name\":\"lat\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"underflow\":1"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"overflow\":2"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"total\":6"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("{\"lo\":0,\"hi\":1,\"count\":1}"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("{\"lo\":1,\"hi\":2,\"count\":2}"),
+              std::string::npos)
+        << doc;
+}
+
+TEST(StatsJsonTest, TimeSeriesSerializesSamples)
+{
+    stats::TimeSeries ts("ipc");
+    ts.record(0, 1.0);
+    ts.record(fromUs(1), 2.0);
+    ts.record(fromUs(2), 3.0);
+    std::string doc = writeFragment(
+        [&](json::JsonWriter &w) { json::write(w, ts); });
+    EXPECT_NE(doc.find("\"name\":\"ipc\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"num_samples\":3"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"mean\":2"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("[0,1]"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"downsampled\":false"), std::string::npos)
+        << doc;
+}
+
+TEST(StatsJsonTest, TimeSeriesDownsamplesWhenCapped)
+{
+    stats::TimeSeries ts("power");
+    for (int i = 0; i < 100; ++i)
+        ts.record(Tick(i) * 1000, double(i));
+    std::string doc = writeFragment(
+        [&](json::JsonWriter &w) { json::write(w, ts, 10); });
+    EXPECT_NE(doc.find("\"downsampled\":true"), std::string::npos)
+        << doc;
+    // Full-series summary stays intact even when samples are capped.
+    EXPECT_NE(doc.find("\"num_samples\":100"), std::string::npos)
+        << doc;
+    // At most 10 sample pairs emitted.
+    std::size_t pairs = 0;
+    for (std::size_t p = doc.find("["); p != std::string::npos;
+         p = doc.find("[", p + 1))
+        ++pairs;
+    EXPECT_LE(pairs, 1 + 10u) << doc; // samples array + pairs
+}
+
+// ---------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------
+
+TEST(CsvFieldTest, QuotingRules)
+{
+    EXPECT_EQ(json::csvField("plain"), "plain");
+    EXPECT_EQ(json::csvField("has,comma"), "\"has,comma\"");
+    EXPECT_EQ(json::csvField("has\"quote"), "\"has\"\"quote\"");
+    EXPECT_EQ(json::csvField("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(json::csvField(""), "");
+}
+
+systems::RunResult
+sampleRun(const std::string &system, const std::string &workload)
+{
+    systems::RunResult r;
+    r.system = system;
+    r.workload = workload;
+    r.execTime = fromUs(120);
+    r.hostStackTime = fromUs(30);
+    r.transferTime = fromUs(20);
+    r.storageStallTime = fromUs(40);
+    r.computeTime = fromUs(30);
+    r.bandwidthMBps = 812.5;
+    r.totalInstructions = 123456;
+    r.bytesProcessed = 1 << 20;
+    r.energy.accelCores = 0.25;
+    r.energy.storageMedia = 0.125;
+    r.ipc.record(0, 1.5);
+    r.ipc.record(fromUs(60), 2.5);
+    return r;
+}
+
+TEST(ResultSinkTest, CsvHasHeaderAndOneRowPerRun)
+{
+    runner::ResultSink sink("unit", "exporter test");
+    sink.add(sampleRun("DRAM-less", "gemver"));
+    sink.add(sampleRun("Hetero, direct", "doitg"));
+
+    std::ostringstream os;
+    sink.writeCsv(os);
+    std::istringstream in(os.str());
+    std::string header, row1, row2, extra;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row1));
+    ASSERT_TRUE(std::getline(in, row2));
+    EXPECT_FALSE(std::getline(in, extra)) << extra;
+
+    EXPECT_EQ(header.substr(0, 15), "system,workload");
+    // Same column count everywhere (commas inside quotes don't count
+    // here: the quoted label is the only comma-bearing field).
+    auto columns = [](const std::string &line) {
+        std::size_t n = 1;
+        bool quoted = false;
+        for (char c : line) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(columns(row1), columns(header));
+    EXPECT_EQ(columns(row2), columns(header));
+    EXPECT_EQ(row1.substr(0, 10), "DRAM-less,");
+    EXPECT_EQ(row2.substr(0, 16), "\"Hetero, direct\"");
+}
+
+TEST(ResultSinkTest, JsonDocumentShape)
+{
+    runner::ResultSink sink("unit", "exporter \"quoted\" test");
+    sink.add(sampleRun("DRAM-less", "gemver"));
+    sink.metric("gm_speedup", 1.75);
+    sink.metric("bad_ratio", std::nan(""));
+    sink.label("workload_scale", "0.02");
+
+    std::ostringstream os;
+    sink.writeJson(os);
+    const std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"experiment\": \"unit\""), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("exporter \\\"quoted\\\" test"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"gm_speedup\": 1.75"), std::string::npos)
+        << doc;
+    // NaN metric must surface as null, not break the document.
+    EXPECT_NE(doc.find("\"bad_ratio\": null"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"workload_scale\": \"0.02\""),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"system\": \"DRAM-less\""),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"bandwidth_mbps\": 812.5"),
+              std::string::npos)
+        << doc;
+
+    // Balanced braces/brackets outside strings -> structurally sound.
+    int depth = 0;
+    bool instr = false, esc = false;
+    for (char c : doc) {
+        if (esc) { esc = false; continue; }
+        if (instr) {
+            if (c == '\\')
+                esc = true;
+            else if (c == '"')
+                instr = false;
+            continue;
+        }
+        if (c == '"')
+            instr = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(instr);
+}
+
+TEST(ResultSinkTest, MatrixRegroupsRunsByLabels)
+{
+    runner::ResultSink sink("unit");
+    sink.add(sampleRun("A", "w1"));
+    sink.add(sampleRun("A", "w2"));
+    sink.add(sampleRun("B", "w1"));
+    auto m = sink.matrix();
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m.at("A").size(), 2u);
+    EXPECT_EQ(m.at("B").size(), 1u);
+    EXPECT_EQ(m.at("A").at("w2").workload, "w2");
+}
+
+TEST(ResultSinkTest, ExportFromEnvWritesRequestedFiles)
+{
+    runner::ResultSink sink("unit", "env export test");
+    sink.add(sampleRun("DRAM-less", "gemver"));
+
+    std::string jsonPath = std::string(::testing::TempDir()) +
+                           "/dramless_export_test.json";
+    std::string csvPath = std::string(::testing::TempDir()) +
+                          "/dramless_export_test.csv";
+    ASSERT_EQ(setenv("DRAMLESS_OUT_JSON", jsonPath.c_str(), 1), 0);
+    ASSERT_EQ(setenv("DRAMLESS_OUT_CSV", csvPath.c_str(), 1), 0);
+    sink.exportFromEnv();
+    ASSERT_EQ(unsetenv("DRAMLESS_OUT_JSON"), 0);
+    ASSERT_EQ(unsetenv("DRAMLESS_OUT_CSV"), 0);
+
+    std::ifstream js(jsonPath), cs(csvPath);
+    ASSERT_TRUE(js.good());
+    ASSERT_TRUE(cs.good());
+    std::stringstream jbuf, cbuf;
+    jbuf << js.rdbuf();
+    cbuf << cs.rdbuf();
+    EXPECT_NE(jbuf.str().find("\"experiment\": \"unit\""),
+              std::string::npos);
+    EXPECT_NE(cbuf.str().find("system,workload"), std::string::npos);
+    std::remove(jsonPath.c_str());
+    std::remove(csvPath.c_str());
+}
+
+} // namespace
+} // namespace dramless

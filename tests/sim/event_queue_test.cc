@@ -165,6 +165,81 @@ TEST(EventQueueTest, NumProcessedCounts)
     EXPECT_EQ(eq.numProcessed(), 2u);
 }
 
+TEST(EventQueueTest, RescheduleIdleEventToCurrentTick)
+{
+    EventQueue eq;
+    // Advance time first so "current tick" is nonzero.
+    EventFunctionWrapper warm([] {}, "warm");
+    eq.schedule(&warm, 25);
+    eq.run();
+    ASSERT_EQ(eq.curTick(), 25u);
+
+    int runs = 0;
+    EventFunctionWrapper ev([&] { ++runs; }, "now");
+    // Rescheduling a never-scheduled event to the current tick must
+    // schedule it there, not panic or drop it.
+    eq.reschedule(&ev, eq.curTick());
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 25u);
+    eq.run();
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(eq.curTick(), 25u);
+}
+
+TEST(EventQueueTest, RescheduleToSameTickKeepsSingleOccurrence)
+{
+    EventQueue eq;
+    int runs = 0;
+    EventFunctionWrapper ev([&] { ++runs; }, "same");
+    eq.schedule(&ev, 10);
+    eq.reschedule(&ev, 10);
+    eq.reschedule(&ev, 10);
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, DescheduledEventCanMoveToAnotherQueue)
+{
+    EventQueue a, b;
+    int runs = 0;
+    EventFunctionWrapper ev([&] { ++runs; }, "migrant");
+    a.schedule(&ev, 10);
+    a.deschedule(&ev);
+    b.schedule(&ev, 10);
+    b.run();
+    EXPECT_EQ(runs, 1);
+    // The stale entry left in a must drain without touching ev.
+    EXPECT_EQ(a.nextTick(), maxTick);
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(EventQueueTest, DescheduledEventMayBeDestroyedBeforeDrain)
+{
+    // A lazily-removed heap entry must never dereference its event:
+    // the owner may destroy the event right after deschedule().
+    EventQueue eq;
+    auto ev = std::make_unique<EventFunctionWrapper>([] {}, "gone");
+    EventFunctionWrapper keep([] {}, "keep");
+    eq.schedule(ev.get(), 10);
+    eq.schedule(&keep, 20);
+    eq.deschedule(ev.get());
+    ev.reset();
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 20u);
+}
+
+TEST(EventQueueTest, PriorityAccessorReflectsSchedule)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "prio");
+    eq.schedule(&ev, 5, Event::highPriority);
+    EXPECT_EQ(ev.priority(), Event::highPriority);
+    eq.reschedule(&ev, 6, Event::lowPriority);
+    EXPECT_EQ(ev.priority(), Event::lowPriority);
+    eq.run();
+}
+
 TEST(EventQueueDeathTest, DoubleSchedulePanics)
 {
     EventQueue eq;
@@ -194,6 +269,37 @@ TEST(EventQueueDeathTest, DestroyWhileScheduledPanics)
             // ev destroyed while scheduled
         },
         "destroyed while scheduled");
+}
+
+TEST(EventQueueDeathTest, RescheduleIntoThePastPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper warm([] {}, "warm");
+    eq.schedule(&warm, 10);
+    eq.run();
+    EventFunctionWrapper ev([] {}, "late");
+    eq.schedule(&ev, 20);
+    EXPECT_DEATH(eq.reschedule(&ev, 5), "into the past");
+    // The failed reschedule must not have descheduled the event.
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 20u);
+    eq.run();
+}
+
+TEST(EventQueueDeathTest, DescheduleFromWrongQueuePanics)
+{
+    EventQueue a, b;
+    EventFunctionWrapper ev([] {}, "confused");
+    a.schedule(&ev, 10);
+    EXPECT_DEATH(b.deschedule(&ev), "not on");
+    a.deschedule(&ev);
+}
+
+TEST(EventQueueDeathTest, DescheduleIdleEventPanics)
+{
+    EventQueue eq;
+    EventFunctionWrapper ev([] {}, "idle");
+    EXPECT_DEATH(eq.deschedule(&ev), "not scheduled");
 }
 
 } // namespace
