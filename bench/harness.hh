@@ -48,6 +48,8 @@ inline systems::RunResult
 runOne(systems::SystemKind kind, const workload::WorkloadSpec &spec,
        const systems::SystemOptions &opts)
 {
+    runner::JobTraceScope traceScope(
+        systems::SystemFactory::label(kind), spec.name);
     auto sys = systems::SystemFactory::create(kind, opts);
     return sys->run(spec);
 }

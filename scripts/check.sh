@@ -24,4 +24,15 @@ cmake -B "$build_dir" -S "$repo_root" \
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
+# Stage 2: ASan+UBSan profile. The runner determinism suite is the
+# highest-value target under sanitizers: it exercises the thread
+# pool, the trace merge path, and every system model end to end.
+san_dir="$build_dir-asan"
+cmake -B "$san_dir" -S "$repo_root" \
+    -DDRAMLESS_SANITIZE=ON \
+    -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
+cmake --build "$san_dir" -j "$jobs" --target runner_tests
+"$san_dir/tests/runner/runner_tests" \
+    --gtest_filter='DeterminismTest.*'
+
 echo "check.sh: all tests passed (DRAMLESS_JOBS=$DRAMLESS_JOBS)"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/debug.hh"
+#include "sim/trace.hh"
 
 namespace dramless
 {
@@ -156,6 +157,8 @@ ProcessingElement::step()
         // (write allocate). The dirty victim, if any, is posted when
         // the fill returns.
         ++stats_.l2MissReads;
+        if (auto *t = trace::current())
+            t->instant(trace::catAccel, name_, "l2.miss", curTick());
         DPRINTF("PE", "%s miss addr=0x%llx -> fetch L2 block",
                 is_store ? "store" : "load",
                 (unsigned long long)item_.addr);
@@ -211,6 +214,10 @@ ProcessingElement::postWrite(std::uint64_t addr, std::uint32_t size)
     // bandwidth as backpressure.
     ++storeQueueUsed_;
     ++stats_.writebackWrites;
+    if (auto *t = trace::current()) {
+        t->counter(trace::catAccel, name_, "storeQueueUsed",
+                   curTick(), double(storeQueueUsed_));
+    }
     mcu_->write(addr, size,
                 [this](Tick when) { storeDrained(when); });
 }
@@ -222,6 +229,9 @@ ProcessingElement::loadReturned(Tick when)
              name_.c_str());
     waitingLoad_ = false;
     stats_.loadStallTicks += when - stallStart_;
+    if (auto *t = trace::current())
+        t->complete(trace::catAccel, name_, "stall.load", stallStart_,
+                    when);
     if (pendingWbValid_) {
         postWrite(pendingWbAddr_, config_.l2.blockBytes);
         pendingWbValid_ = false;
@@ -241,9 +251,16 @@ ProcessingElement::storeDrained(Tick when)
     panic_if(storeQueueUsed_ == 0, "%s: store queue underflow",
              name_.c_str());
     --storeQueueUsed_;
+    if (auto *t = trace::current()) {
+        t->counter(trace::catAccel, name_, "storeQueueUsed", when,
+                   double(storeQueueUsed_));
+    }
     if (waitingStore_) {
         waitingStore_ = false;
         stats_.storeStallTicks += when - stallStart_;
+        if (auto *t = trace::current())
+            t->complete(trace::catAccel, name_, "stall.store",
+                        stallStart_, when);
         eventQueue().reschedule(&stepEvent_, clockEdge());
     }
     if (traceExhausted_)
@@ -259,6 +276,10 @@ ProcessingElement::maybeFinish()
     }
     running_ = false;
     finished_ = true;
+    if (auto *t = trace::current()) {
+        t->complete(trace::catAccel, name_, "kernel", runStart_,
+                    curTick());
+    }
     DPRINTF("PE", "kernel complete: %llu instructions",
             (unsigned long long)stats_.instructions);
     if (onDone_)

@@ -16,6 +16,7 @@
 #include "core/kernel_image.hh"
 #include "runner/result_sink.hh"
 #include "runner/sweep_runner.hh"
+#include "runner/trace_export.hh"
 #include "systems/factory.hh"
 #include "workload/polybench.hh"
 #include "workload/trace_gen.hh"

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/debug.hh"
+#include "sim/trace.hh"
 
 namespace dramless
 {
@@ -162,8 +163,24 @@ ChannelController::enqueue(const MemRequest &req)
         mstate.demand.push_back(std::move(sub));
     }
 
+    if (auto *t = trace::current()) {
+        t->instant(trace::catCtrl, name_,
+                   rstate.isWrite ? "enqueue.write" : "enqueue.read",
+                   curTick());
+        t->counter(trace::catCtrl, name_, "demandQueueDepth",
+                   curTick(), double(queuedSubOps()));
+    }
     eventQueue().reschedule(&schedulerEvent_, curTick());
     return id;
+}
+
+std::size_t
+ChannelController::queuedSubOps() const
+{
+    std::size_t depth = 0;
+    for (const ModuleState &ms : moduleStates_)
+        depth += ms.demand.size();
+    return depth;
 }
 
 void
@@ -451,6 +468,10 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
         phy_.sendCommand(now);
         sub.phaseReadyAt =
             mod.preActive(std::uint32_t(ba), op.upperRow, op.partition);
+        if (auto *t = trace::current()) {
+            t->complete(trace::catCtrl, name_, "phase.preActive", now,
+                        sub.phaseReadyAt);
+        }
         sub.ba = ba;
         sub.phase = Phase::activate;
         return;
@@ -459,6 +480,10 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
         if (sub.phase == Phase::preActive) {
             // Skipped the pre-active thanks to a RAB hit.
             ++stats_.preActivesSkipped;
+            if (auto *t = trace::current()) {
+                t->counter(trace::catCtrl, name_, "rabHits", now,
+                           double(stats_.preActivesSkipped));
+            }
             sub.ba = f.ba;
             mstate.rabBusyUntil[std::uint32_t(f.ba)] = maxTick;
             mstate.rabLastUse[std::uint32_t(f.ba)] = now;
@@ -466,6 +491,12 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
         phy_.sendCommand(now);
         sub.phaseReadyAt =
             mod.activate(std::uint32_t(sub.ba), op.lowerRow);
+        if (auto *t = trace::current()) {
+            t->complete(trace::catCtrl, name_,
+                        sub.isPrefetch ? "phase.activate.prefetch"
+                                       : "phase.activate",
+                        now, sub.phaseReadyAt);
+        }
         sub.phase = Phase::readWrite;
         if (sub.isPrefetch) {
             // The speculation ends here: the sensed RDB stays warm
@@ -498,6 +529,10 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
         // Skipped both phases thanks to a full RDB hit.
         ++stats_.preActivesSkipped;
         ++stats_.activatesSkipped;
+        if (auto *t = trace::current()) {
+            t->counter(trace::catCtrl, name_, "rdbHits", now,
+                       double(stats_.activatesSkipped));
+        }
         sub.ba = f.ba;
         mstate.rabBusyUntil[std::uint32_t(f.ba)] = maxTick;
         mstate.rabLastUse[std::uint32_t(f.ba)] = now;
@@ -516,6 +551,11 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
                            sub.readInto);
     }
     phy_.reserveDq(bt.firstData, bt.lastData);
+    if (auto *t = trace::current()) {
+        t->complete(trace::catCtrl, name_,
+                    op.isWrite ? "phase.write" : "phase.read", now,
+                    bt.lastData);
+    }
     mstate.rabBusyUntil[std::uint32_t(sub.ba)] = bt.lastData;
     mstate.rabLastUse[std::uint32_t(sub.ba)] = now;
 
@@ -611,6 +651,13 @@ ChannelController::completionTrigger()
                 stats_.writeLatencyNs.sample(lat_ns);
             else
                 stats_.readLatencyNs.sample(lat_ns);
+            if (auto *t = trace::current()) {
+                t->complete(trace::catCtrl, name_,
+                            rstate.isWrite ? "req.write" : "req.read",
+                            rstate.enqueuedAt, now);
+                t->counter(trace::catCtrl, name_, "demandQueueDepth",
+                           now, double(queuedSubOps()));
+            }
             if (callback_)
                 callback_(MemResponse{id, now});
         }

@@ -114,6 +114,9 @@ class ChannelController : public Clocked
     /** @return number of incomplete demand requests. */
     std::size_t pendingRequests() const { return requests_.size(); }
 
+    /** @return demand sub-ops queued across every module. */
+    std::size_t queuedSubOps() const;
+
     /** Functional (untimed) write across the channel address space. */
     void functionalWrite(std::uint64_t addr, const void *src,
                          std::uint64_t len);

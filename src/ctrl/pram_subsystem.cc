@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/trace.hh"
+
 namespace dramless
 {
 namespace ctrl
@@ -121,6 +123,8 @@ PramSubsystem::enqueue(const MemRequest &req)
 
     std::uint64_t id = nextOuterId_++;
     OuterRequest &outer = outer_[id];
+    outer.enqueuedAt = eventq_.curTick();
+    outer.isWrite = (req.kind == ReqKind::write);
 
     if (req.kind == ReqKind::write) {
         ++stats_.writeRequests;
@@ -153,6 +157,12 @@ PramSubsystem::enqueue(const MemRequest &req)
         addr = piece_end;
     }
     outer.remainingPieces = std::uint32_t(pieces.size());
+    if (auto *t = trace::current()) {
+        t->counter(trace::catCtrl, name_, "stripePieces",
+                   eventq_.curTick(), double(pieces.size()));
+        t->counter(trace::catCtrl, name_, "outstandingRequests",
+                   eventq_.curTick(), double(outer_.size()));
+    }
     for (auto &piece : pieces)
         issuePiece(id, piece);
 
@@ -193,6 +203,11 @@ PramSubsystem::onChannelComplete(std::uint32_t ch,
     outer.latest = std::max(outer.latest, resp.completedAt);
     if (--outer.remainingPieces == 0) {
         MemResponse done{outer_id, outer.latest};
+        if (auto *t = trace::current()) {
+            t->complete(trace::catCtrl, name_,
+                        outer.isWrite ? "outer.write" : "outer.read",
+                        outer.enqueuedAt, outer.latest);
+        }
         outer_.erase(oit);
         if (callback_)
             callback_(done);
@@ -206,6 +221,10 @@ PramSubsystem::recordWearLevelWrites(std::uint64_t stripes)
         if (!wearLevel_->recordWrite())
             continue;
         ++stats_.wearLevelMoves;
+        if (auto *t = trace::current()) {
+            t->instant(trace::catCtrl, name_, "wearLevel.gapMove",
+                       eventq_.curTick());
+        }
         // Copy the physical stripe behind the gap into the gap:
         // functional move plus a timed internal write of one stripe.
         std::uint64_t from =

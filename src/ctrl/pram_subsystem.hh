@@ -161,6 +161,8 @@ class PramSubsystem
     {
         std::uint32_t remainingPieces = 0;
         Tick latest = 0;
+        Tick enqueuedAt = 0;
+        bool isWrite = false;
     };
 
     std::string name_;

@@ -21,6 +21,7 @@
 
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace dramless
 {
@@ -83,6 +84,19 @@ class FirmwareModel
         busyTicks_ += config_.perRequestLatency;
         *it = done;
         ++numRequests_;
+        if (auto *t = trace::current()) {
+            if (start > earliest) {
+                t->complete(trace::catFlash, name_, "fw.queued",
+                            earliest, start);
+            }
+            t->complete(trace::catFlash, name_, "fw.service", start,
+                        done);
+            std::size_t busy = 0;
+            for (Tick free_at : coreFreeAt_)
+                busy += free_at > start ? 1 : 0;
+            t->counter(trace::catFlash, name_, "fw.busyCores", start,
+                       double(busy));
+        }
         return done;
     }
 

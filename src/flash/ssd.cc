@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
+
 namespace dramless
 {
 namespace flash
@@ -118,28 +120,46 @@ Ssd::servicePageRead(std::uint64_t lpn, Tick start,
 {
     // A buffer hit only moves the requested bytes out of the DRAM; a
     // miss pays the full page fetch first (the block-interface cost).
-    if (cache_.lookup(lpn))
-        return start + cache_.accessTime(bytes);
+    if (cache_.lookup(lpn)) {
+        Tick done = start + cache_.accessTime(bytes);
+        if (auto *t = trace::current())
+            t->complete(trace::catFlash, name_, "page.read.hit",
+                        start, done);
+        return done;
+    }
 
     Tick flash_done = ftl_->readPage(lpn, start);
     DramCache::Eviction ev = cache_.insert(lpn, false);
     handleEviction(ev, flash_done);
-    return flash_done + cache_.accessTime(bytes);
+    Tick done = flash_done + cache_.accessTime(bytes);
+    if (auto *t = trace::current())
+        t->complete(trace::catFlash, name_, "page.read.miss", start,
+                    done);
+    return done;
 }
 
 Tick
 Ssd::servicePageWrite(std::uint64_t lpn, Tick start, bool partial,
                       std::uint32_t bytes)
 {
+    Tick first_start = start;
     if (partial && !cache_.contains(lpn)) {
         // Read-modify-write: fetch the page before merging the
         // sub-page store into it.
         ++stats_.rmwReads;
+        if (auto *t = trace::current())
+            t->instant(trace::catFlash, name_, "page.write.rmw",
+                       start);
         start = ftl_->readPage(lpn, start);
         DramCache::Eviction ev = cache_.insert(lpn, false);
         handleEviction(ev, start);
     }
     Tick dram_done = start + cache_.accessTime(bytes);
+    // Insert before the watermark check: the write being serviced
+    // counts toward the dirty population, so dirtyWatermark = 0.0
+    // throttles every buffered write (and 1.0 never throttles).
+    DramCache::Eviction ev = cache_.insert(lpn, true);
+    handleEviction(ev, dram_done);
     if (cache_.overDirtyWatermark()) {
         // Throttled: synchronously flush the coldest dirty page so
         // the writer proceeds at the flash program rate, amortized
@@ -149,10 +169,17 @@ Ssd::servicePageWrite(std::uint64_t lpn, Tick start, bool partial,
             ++stats_.bufferThrottledWrites;
             dram_done = ftl_->writePage(victim, dram_done);
             cache_.markClean(victim);
+            if (auto *t = trace::current())
+                t->instant(trace::catFlash, name_,
+                           "page.write.throttled", dram_done);
         }
     }
-    DramCache::Eviction ev = cache_.insert(lpn, true);
-    handleEviction(ev, dram_done);
+    if (auto *t = trace::current()) {
+        t->complete(trace::catFlash, name_, "page.write", first_start,
+                    dram_done);
+        t->counter(trace::catFlash, name_, "dirtyPages", dram_done,
+                   double(cache_.dirtyPages()));
+    }
     return dram_done;
 }
 

@@ -18,6 +18,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/ticks.hh"
+#include "sim/trace.hh"
 
 namespace dramless
 {
@@ -66,6 +67,17 @@ class PcieLink
         stats_.busyTicks += dur;
         ++stats_.transfers;
         stats_.bytes += bytes;
+        if (auto *t = trace::current()) {
+            t->complete(trace::catHost, name_, "pcie.transfer", start,
+                        busyUntil_);
+            Tick req_at = std::max(eventq_.curTick(), earliest);
+            if (start > req_at) {
+                t->complete(trace::catHost, name_, "pcie.backlog",
+                            req_at, start);
+            }
+            t->counter(trace::catHost, name_, "pcie.bytes", start,
+                       double(stats_.bytes));
+        }
         return busyUntil_;
     }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/debug.hh"
+#include "sim/trace.hh"
 
 namespace dramless
 {
@@ -59,6 +60,9 @@ PramModule::preActive(std::uint32_t ba, std::uint64_t upper_row,
     rab.partition = partition;
     rab.readyAt = curTick() + timing_.preActiveTime();
     ++stats_.numPreActive;
+    if (auto *t = trace::current())
+        t->complete(trace::catPram, name_, "preActive", curTick(),
+                    rab.readyAt);
     return rab.readyAt;
 }
 
@@ -81,6 +85,9 @@ PramModule::activate(std::uint32_t ba, std::uint64_t lower_row)
     rdb.partition = rab.partition;
     rdb.readyAt = curTick() + timing_.tRCD;
     ++stats_.numActivate;
+    if (auto *t = trace::current())
+        t->complete(trace::catPram, name_, "activate", curTick(),
+                    rdb.readyAt);
 
     // During tRCD the module checks whether the composed row falls in
     // the overlay window; register rows never touch a partition.
@@ -122,6 +129,9 @@ PramModule::readBurst(std::uint32_t ba, std::uint32_t column,
     t.lastData = t.firstData + timing_.burstTime(burstForBytes(len));
     ++stats_.numReadBursts;
     stats_.bytesRead += len;
+    if (auto *tr = trace::current())
+        tr->complete(trace::catPram, name_, "readBurst", t.firstData,
+                     t.lastData);
 
     if (out != nullptr) {
         if (rdb.overlay) {
@@ -173,6 +183,9 @@ PramModule::writeBurst(std::uint32_t ba, std::uint32_t column,
     t.lastData = t.firstData + timing_.burstTime(burstForBytes(len));
     Tick effect = t.lastData + timing_.tWRA;
     ++stats_.numWriteBursts;
+    if (auto *tr = trace::current())
+        tr->complete(trace::catPram, name_, "writeBurst", t.firstData,
+                     t.lastData);
 
     std::uint64_t row_addr =
         decomposer_.compose(rdb.partition, rdb.row, 0);
@@ -265,6 +278,15 @@ PramModule::startProgram(Tick start)
                 : kind == ProgramKind::overwrite ? "overwrite"
                                                  : "reset-only",
                 toUs(latency));
+        if (auto *t = trace::current()) {
+            t->complete(trace::catPram, name_,
+                        kind == ProgramKind::pristineProgram
+                            ? "program.pristine"
+                        : kind == ProgramKind::overwrite
+                            ? "program.overwrite"
+                            : "program.resetOnly",
+                        when, when + latency);
+        }
         occupyPartition(d.partition, when, when + latency);
         partitions_[d.partition].programCount++;
         setWordPristine(d.partition, d.row,
@@ -290,6 +312,10 @@ PramModule::startProgram(Tick start)
     programEnds_.push_back(when);
     lastProgramEnd_ = when;
     programBusyUntil_ = std::max(programBusyUntil_, when);
+    if (auto *t = trace::current()) {
+        t->counter(trace::catPram, name_, "programSlotsBusy", start,
+                   double(programEnds_.size()));
+    }
 }
 
 void
@@ -315,6 +341,8 @@ PramModule::startErase(Tick start)
     lastProgramEnd_ = end;
     programBusyUntil_ = std::max(programBusyUntil_, end);
     ++stats_.numErases;
+    if (auto *t = trace::current())
+        t->complete(trace::catPram, name_, "erase", start, end);
 }
 
 void

@@ -156,6 +156,10 @@ writeTo(const char *path, const char *what,
     fatal_if(!out.is_open(), "cannot open %s output file '%s'", what,
              path);
     emit(out);
+    // Flush before checking: a buffered write to a full device only
+    // surfaces its error when the buffer drains, and the destructor
+    // would swallow it.
+    out.flush();
     fatal_if(!out.good(), "error writing %s output file '%s'", what,
              path);
 }

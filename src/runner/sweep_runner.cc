@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "runner/trace_export.hh"
 #include "sim/logging.hh"
 
 namespace dramless
@@ -82,6 +83,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
                 return;
             }
             try {
+                JobTraceScope traceScope(jobs[i].system,
+                                         jobs[i].workload);
                 results[i] = jobs[i].run();
             } catch (const std::exception &e) {
                 std::lock_guard<std::mutex> lock(progressMutex);

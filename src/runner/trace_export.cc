@@ -1,0 +1,188 @@
+#include "runner/trace_export.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+namespace
+{
+
+/**
+ * Pending merged sessions, keyed by the DRAMLESS_TRACE path each job
+ * saw. Jobs on worker threads append under the mutex; the writer
+ * drains at flushTraceSessions() / process exit.
+ */
+struct Sessions
+{
+    std::mutex mutex;
+    std::map<std::string, std::vector<trace::Group>> byPath;
+    std::map<std::string, std::string> summaryByPath;
+    bool atexitRegistered = false;
+};
+
+Sessions &
+sessions()
+{
+    static Sessions s;
+    return s;
+}
+
+void
+writeSessions(bool strict)
+{
+    std::map<std::string, std::vector<trace::Group>> pending;
+    std::map<std::string, std::string> summaries;
+    {
+        std::lock_guard<std::mutex> lock(sessions().mutex);
+        pending.swap(sessions().byPath);
+        summaries.swap(sessions().summaryByPath);
+    }
+    for (auto &[path, groups] : pending) {
+        if (path == "-") {
+            trace::writeChromeTrace(std::cout, groups);
+        } else {
+            std::ofstream out(path);
+            if (!out.is_open() || (trace::writeChromeTrace(out, groups),
+                                   out.flush(), !out.good())) {
+                if (strict) {
+                    fatal("cannot write trace output file '%s'",
+                          path.c_str());
+                }
+                std::fprintf(stderr,
+                             "warn: cannot write trace output file "
+                             "'%s'\n",
+                             path.c_str());
+                continue;
+            }
+        }
+        auto it = summaries.find(path);
+        if (it == summaries.end())
+            continue;
+        const std::string &spath = it->second;
+        if (spath == "-" || spath == "stderr") {
+            trace::writeSummary(std::cerr, groups);
+        } else {
+            std::ofstream sout(spath);
+            if (!sout.is_open() ||
+                (trace::writeSummary(sout, groups), sout.flush(),
+                 !sout.good())) {
+                if (strict) {
+                    fatal("cannot write trace summary file '%s'",
+                          spath.c_str());
+                }
+                std::fprintf(stderr,
+                             "warn: cannot write trace summary file "
+                             "'%s'\n",
+                             spath.c_str());
+            }
+        }
+    }
+}
+
+void
+writeSessionsAtExit()
+{
+    // Never fatal() (std::exit) from inside exit processing.
+    writeSessions(/*strict=*/false);
+}
+
+std::string
+sanitize(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                          ? c
+                          : '_');
+    }
+    return out.empty() ? std::string("_") : out;
+}
+
+} // anonymous namespace
+
+std::string
+jobTracePath(const std::string &base, const std::string &system,
+             const std::string &workload)
+{
+    std::string job = sanitize(system) + "." + sanitize(workload);
+    std::size_t slash = base.find_last_of('/');
+    std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + "." + job;
+    }
+    return base.substr(0, dot) + "." + job + base.substr(dot);
+}
+
+JobTraceScope::JobTraceScope(const std::string &system,
+                             const std::string &workload)
+{
+    const char *path = std::getenv("DRAMLESS_TRACE");
+    if (path == nullptr || *path == '\0' || trace::current() != nullptr)
+        return;
+    const char *filter = std::getenv("DRAMLESS_TRACE_FILTER");
+    label_ = system + "/" + workload;
+    path_ = path;
+    tracer_ = std::make_unique<trace::Tracer>(filter ? filter : "");
+    scoped_ = std::make_unique<trace::ScopedTracer>(tracer_.get());
+}
+
+JobTraceScope::~JobTraceScope()
+{
+    if (!tracer_)
+        return;
+    scoped_.reset();
+
+    std::vector<trace::Group> job;
+    job.push_back({std::string(), tracer_->events()});
+
+    if (path_ != "-") {
+        std::string jobPath =
+            jobTracePath(path_, label_.substr(0, label_.find('/')),
+                         label_.substr(label_.find('/') + 1));
+        std::ofstream out(jobPath);
+        if (!out.is_open() || (trace::writeChromeTrace(out, job),
+                               out.flush(), !out.good())) {
+            std::fprintf(stderr,
+                         "warn: cannot write trace output file '%s'\n",
+                         jobPath.c_str());
+        }
+    }
+
+    const char *summary = std::getenv("DRAMLESS_TRACE_SUMMARY");
+    {
+        std::lock_guard<std::mutex> lock(sessions().mutex);
+        sessions().byPath[path_].push_back(
+            {label_, tracer_->takeEvents()});
+        if (summary != nullptr && *summary != '\0')
+            sessions().summaryByPath[path_] = summary;
+        if (!sessions().atexitRegistered) {
+            sessions().atexitRegistered = true;
+            std::atexit(writeSessionsAtExit);
+        }
+    }
+    tracer_.reset();
+}
+
+void
+flushTraceSessions()
+{
+    writeSessions(/*strict=*/true);
+}
+
+} // namespace runner
+} // namespace dramless

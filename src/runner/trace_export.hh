@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Env-driven trace enablement for sweep jobs.
+ *
+ * Tracing is wired next to the DRAMLESS_OUT_JSON result plumbing so
+ * every bench/fig binary and bench/sweep gets it for free:
+ *
+ *   DRAMLESS_TRACE=<path>          enable tracing; the merged Chrome
+ *                                  trace of every job lands at <path>
+ *                                  ("-" writes it to stdout at exit)
+ *   DRAMLESS_TRACE_FILTER=<glob>   only record matching component
+ *                                  categories (pram, ctrl, flash,
+ *                                  accel, host, system); '*'/'?'
+ *                                  globs, comma-separated
+ *   DRAMLESS_TRACE_SUMMARY=<path>  also write the per-component
+ *                                  summary table ("-" = stderr)
+ *
+ * A JobTraceScope brackets one simulation job: it installs a private
+ * trace::Tracer on the current thread, and on destruction writes a
+ * per-job trace file "<stem>.<system>.<workload><ext>" beside <path>
+ * and queues the job's events for the merged file. The merged file
+ * (and summary) flush at process exit, or explicitly through
+ * flushTraceSessions(). Parallel sweeps therefore get one trace per
+ * job plus one combined, Perfetto-loadable session file.
+ */
+
+#ifndef DRAMLESS_RUNNER_TRACE_EXPORT_HH
+#define DRAMLESS_RUNNER_TRACE_EXPORT_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace dramless
+{
+namespace runner
+{
+
+/**
+ * RAII trace scope for one (system, workload) job. No-op when
+ * DRAMLESS_TRACE is unset or a tracer is already installed on this
+ * thread (so nesting never double-records).
+ */
+class JobTraceScope
+{
+  public:
+    JobTraceScope(const std::string &system, const std::string &workload);
+    ~JobTraceScope();
+
+    JobTraceScope(const JobTraceScope &) = delete;
+    JobTraceScope &operator=(const JobTraceScope &) = delete;
+
+    /** @return true when this scope actually installed a tracer. */
+    bool active() const { return tracer_ != nullptr; }
+
+  private:
+    std::string label_;
+    std::string path_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<trace::ScopedTracer> scoped_;
+};
+
+/**
+ * Write every pending merged trace session (and summary) now and
+ * clear them. Called automatically at process exit; tests call it to
+ * inspect the merged file mid-process. fatal()s on an unwritable
+ * path so a sweep never reports success while tracing silently
+ * failed.
+ */
+void flushTraceSessions();
+
+/** @return the sanitized per-job trace path for (system, workload). */
+std::string jobTracePath(const std::string &base,
+                         const std::string &system,
+                         const std::string &workload);
+
+} // namespace runner
+} // namespace dramless
+
+#endif // DRAMLESS_RUNNER_TRACE_EXPORT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Traced monotonic-in-time counters.
+ *
+ * A Counter tracks a level (queue depth, slot occupancy, backlog)
+ * and, when tracing is enabled, emits a counter sample on every
+ * change so the level renders as a step graph in Perfetto. When
+ * tracing is off an update is a double add on a member — the counter
+ * never touches simulated state, so enabling it cannot perturb a run.
+ *
+ * Category and name must be string literals (the trace layer stores
+ * the pointers).
+ */
+
+#ifndef DRAMLESS_SIM_COUNTERS_HH
+#define DRAMLESS_SIM_COUNTERS_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/ticks.hh"
+#include "sim/trace.hh"
+
+namespace dramless
+{
+namespace trace
+{
+
+/** A traced level counter (queue depth, occupancy, ...). */
+class Counter
+{
+  public:
+    Counter(const char *category, std::string track, const char *name)
+        : category_(category), name_(name), track_(std::move(track))
+    {}
+
+    /** Set the level to @p v at time @p when. */
+    void
+    set(Tick when, double v)
+    {
+        level_ = v;
+        if (auto *t = current())
+            t->counter(category_, track_, name_, when, level_);
+    }
+
+    /** Add @p delta to the level at time @p when. */
+    void add(Tick when, double delta) { set(when, level_ + delta); }
+    void inc(Tick when) { add(when, 1.0); }
+    void dec(Tick when) { add(when, -1.0); }
+
+    double level() const { return level_; }
+
+    /** Rename the track (e.g. once the owner learns its instance id). */
+    void setTrack(std::string track) { track_ = std::move(track); }
+
+  private:
+    const char *category_;
+    const char *name_;
+    std::string track_;
+    double level_ = 0.0;
+};
+
+} // namespace trace
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_COUNTERS_HH

@@ -12,7 +12,7 @@ namespace stats
 
 Histogram::Histogram(std::string name, double lo, double hi,
                      std::size_t buckets, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo)
+    : name_(std::move(name)), desc_(std::move(desc)), lo_(lo), hi_(hi)
 {
     panic_if(buckets == 0, "histogram needs at least one bucket");
     panic_if(hi <= lo, "histogram range is empty");
@@ -28,12 +28,14 @@ Histogram::sample(double v, std::uint64_t weight)
         underflow_ += weight;
         return;
     }
-    auto idx = std::size_t((v - lo_) / width_);
-    if (idx >= counts_.size()) {
+    if (v > hi_) {
         overflow_ += weight;
         return;
     }
-    counts_[idx] += weight;
+    // The range is inclusive at both ends: v == hi (and any value the
+    // division rounds past the last bucket) lands in the last bucket.
+    auto idx = std::size_t((v - lo_) / width_);
+    counts_[idx >= counts_.size() ? counts_.size() - 1 : idx] += weight;
 }
 
 void

@@ -135,6 +135,7 @@ class Histogram
     std::string name_;
     std::string desc_;
     double lo_;
+    double hi_;
     double width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_ = 0;

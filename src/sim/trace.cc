@@ -1,0 +1,290 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+#include "sim/json.hh"
+
+namespace dramless
+{
+namespace trace
+{
+
+namespace
+{
+
+thread_local Tracer *tlsCurrent = nullptr;
+
+/** Match one glob (no comma alternatives) against @p s. */
+bool
+globMatchOne(const char *p, const char *pe, const char *s, const char *se)
+{
+    // Iterative glob with single-star backtracking.
+    const char *star = nullptr;
+    const char *starS = nullptr;
+    while (s != se) {
+        if (p != pe && (*p == '?' || *p == *s)) {
+            ++p;
+            ++s;
+        } else if (p != pe && *p == '*') {
+            star = p++;
+            starS = s;
+        } else if (star) {
+            p = star + 1;
+            s = ++starS;
+        } else {
+            return false;
+        }
+    }
+    while (p != pe && *p == '*')
+        ++p;
+    return p == pe;
+}
+
+} // namespace
+
+bool
+globMatch(const std::string &pattern, const std::string &s)
+{
+    if (pattern.empty())
+        return true;
+    std::size_t pos = 0;
+    while (pos <= pattern.size()) {
+        std::size_t comma = pattern.find(',', pos);
+        std::size_t end = comma == std::string::npos ? pattern.size() : comma;
+        const char *p = pattern.data() + pos;
+        const char *pe = pattern.data() + end;
+        if (globMatchOne(p, pe, s.data(), s.data() + s.size()))
+            return true;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return false;
+}
+
+Tracer::Tracer(std::string filter) : filter_(std::move(filter)) {}
+
+bool
+Tracer::wants(const char *category) const
+{
+    if (filter_.empty() || filter_ == "*")
+        return true;
+    return globMatch(filter_, category);
+}
+
+Tracer *
+current()
+{
+    return tlsCurrent;
+}
+
+ScopedTracer::ScopedTracer(Tracer *t) : prev_(tlsCurrent)
+{
+    tlsCurrent = t;
+}
+
+ScopedTracer::~ScopedTracer()
+{
+    tlsCurrent = prev_;
+}
+
+namespace
+{
+
+/** Ticks (ps) to Chrome trace microseconds. */
+double
+toTraceUs(Tick t)
+{
+    return double(t) / 1e6;
+}
+
+/** Process key: group label + category. */
+std::string
+processName(const Group &g, const Event &ev)
+{
+    if (g.label.empty())
+        return ev.category;
+    return g.label + "/" + ev.category;
+}
+
+struct Ids
+{
+    // Ordered maps keep pid/tid assignment (and thus output)
+    // deterministic across runs.
+    std::map<std::string, int> pids;
+    std::map<std::pair<int, std::string>, int> tids;
+
+    int
+    pid(const std::string &process)
+    {
+        auto it = pids.find(process);
+        if (it != pids.end())
+            return it->second;
+        int id = int(pids.size()) + 1;
+        pids.emplace(process, id);
+        return id;
+    }
+
+    int
+    tid(int pid, const std::string &track)
+    {
+        auto key = std::make_pair(pid, track);
+        auto it = tids.find(key);
+        if (it != tids.end())
+            return it->second;
+        int id = 1;
+        for (const auto &kv : tids)
+            if (kv.first.first == pid)
+                ++id;
+        tids.emplace(key, id);
+        return id;
+    }
+};
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Group> &groups)
+{
+    Ids ids;
+    json::JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+
+    // Metadata first: name every process and thread we will emit.
+    // Two passes keep the event array append-only and deterministic.
+    for (const auto &g : groups) {
+        for (const auto &ev : g.events) {
+            std::string proc = processName(g, ev);
+            bool newPid = ids.pids.find(proc) == ids.pids.end();
+            int pid = ids.pid(proc);
+            if (newPid) {
+                w.beginObject();
+                w.key("ph").value("M");
+                w.key("name").value("process_name");
+                w.key("pid").value(pid);
+                w.key("args").beginObject();
+                w.key("name").value(proc);
+                w.endObject();
+                w.endObject();
+            }
+            auto key = std::make_pair(pid, ev.track);
+            bool newTid = ids.tids.find(key) == ids.tids.end();
+            int tid = ids.tid(pid, ev.track);
+            if (newTid) {
+                w.beginObject();
+                w.key("ph").value("M");
+                w.key("name").value("thread_name");
+                w.key("pid").value(pid);
+                w.key("tid").value(tid);
+                w.key("args").beginObject();
+                w.key("name").value(ev.track);
+                w.endObject();
+                w.endObject();
+            }
+        }
+    }
+
+    for (const auto &g : groups) {
+        for (const auto &ev : g.events) {
+            int pid = ids.pid(processName(g, ev));
+            int tid = ids.tid(pid, ev.track);
+            w.beginObject();
+            switch (ev.ph) {
+              case Event::Ph::complete:
+                w.key("ph").value("X");
+                w.key("name").value(ev.name);
+                w.key("cat").value(ev.category);
+                w.key("pid").value(pid);
+                w.key("tid").value(tid);
+                w.key("ts").value(toTraceUs(ev.start));
+                w.key("dur").value(toTraceUs(ev.end - ev.start));
+                break;
+              case Event::Ph::instant:
+                w.key("ph").value("i");
+                w.key("s").value("t");
+                w.key("name").value(ev.name);
+                w.key("cat").value(ev.category);
+                w.key("pid").value(pid);
+                w.key("tid").value(tid);
+                w.key("ts").value(toTraceUs(ev.start));
+                break;
+              case Event::Ph::counter:
+                w.key("ph").value("C");
+                w.key("name").value(std::string(ev.name) + " [" +
+                                    ev.track + "]");
+                w.key("cat").value(ev.category);
+                w.key("pid").value(pid);
+                w.key("tid").value(tid);
+                w.key("ts").value(toTraceUs(ev.start));
+                w.key("args").beginObject();
+                w.key("value").value(ev.value);
+                w.endObject();
+                break;
+            }
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+writeSummary(std::ostream &os, const std::vector<Group> &groups)
+{
+    struct Agg
+    {
+        std::uint64_t count = 0;
+        Tick busy = 0;
+        double peak = 0;
+        double last = 0;
+        Event::Ph ph = Event::Ph::complete;
+    };
+    std::map<std::pair<std::string, std::string>, Agg> aggs;
+
+    for (const auto &g : groups) {
+        for (const auto &ev : g.events) {
+            auto key = std::make_pair(processName(g, ev),
+                                      std::string(ev.name) + " [" +
+                                          ev.track + "]");
+            Agg &a = aggs[key];
+            a.ph = ev.ph;
+            ++a.count;
+            if (ev.ph == Event::Ph::complete) {
+                a.busy += ev.end - ev.start;
+            } else if (ev.ph == Event::Ph::counter) {
+                a.peak = std::max(a.peak, ev.value);
+                a.last = ev.value;
+            }
+        }
+    }
+
+    os << "trace summary (" << aggs.size() << " event kinds)\n";
+    os << std::left << std::setw(24) << "component" << std::setw(40)
+       << "event" << std::right << std::setw(10) << "count"
+       << std::setw(16) << "busy/peak" << "\n";
+    for (const auto &kv : aggs) {
+        const Agg &a = kv.second;
+        os << std::left << std::setw(24) << kv.first.first << std::setw(40)
+           << kv.first.second << std::right << std::setw(10) << a.count;
+        if (a.ph == Event::Ph::complete) {
+            os << std::setw(13) << std::fixed << std::setprecision(3)
+               << toTraceUs(a.busy) << " us";
+        } else if (a.ph == Event::Ph::counter) {
+            os << std::setw(10) << std::fixed << std::setprecision(1)
+               << a.peak << " peak";
+        } else {
+            os << std::setw(16) << "-";
+        }
+        os << "\n";
+        os.unsetf(std::ios::floatfield);
+    }
+}
+
+} // namespace trace
+} // namespace dramless

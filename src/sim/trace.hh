@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Event tracing for the simulator.
+ *
+ * A Tracer collects duration ("complete"), instant, and counter events
+ * keyed by component category + track (instance). Collection is
+ * zero-cost when no tracer is installed: every instrumentation site
+ * compiles down to one thread-local pointer load and a branch,
+ *
+ *     if (auto *t = trace::current())
+ *         t->complete(trace::catPram, track_, "activate", start, end);
+ *
+ * and because the simulator's event times are analytic (the [start,
+ * end] interval of an operation is known when it is issued), most
+ * sites emit with explicit ticks rather than scope lifetimes. A small
+ * RAII Span is provided for the few genuinely scoped regions (e.g. a
+ * whole system run).
+ *
+ * The collected events render to the Chrome Trace Event Format
+ * (loadable in Perfetto / chrome://tracing) via writeChromeTrace(),
+ * and to a compact per-component summary table via writeSummary().
+ * Timestamps convert from ticks (1 ps) to the format's microseconds.
+ *
+ * Category and event names must be string literals (or otherwise
+ * outlive the tracer): events store the pointers, not copies.
+ *
+ * Tracers are single-threaded by design; parallel sweeps install one
+ * tracer per worker thread (see runner::JobTraceScope) and merge the
+ * per-job event groups when writing a combined file.
+ */
+
+#ifndef DRAMLESS_SIM_TRACE_HH
+#define DRAMLESS_SIM_TRACE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace trace
+{
+
+/** @name Canonical component categories @{ */
+constexpr const char *catPram = "pram";
+constexpr const char *catCtrl = "ctrl";
+constexpr const char *catFlash = "flash";
+constexpr const char *catAccel = "accel";
+constexpr const char *catHost = "host";
+constexpr const char *catSystem = "system";
+/** @} */
+
+/**
+ * Match @p s against shell-style glob @p pattern ('*' any run, '?'
+ * any one char). Used for DRAMLESS_TRACE_FILTER category filtering;
+ * a comma separates alternative patterns.
+ */
+bool globMatch(const std::string &pattern, const std::string &s);
+
+/** One recorded trace event. */
+struct Event
+{
+    enum class Ph { complete, instant, counter };
+
+    Ph ph;
+    /** Component category; string literal, becomes the Chrome "pid". */
+    const char *category;
+    /** Event name; string literal. */
+    const char *name;
+    /** Component instance, e.g. "chan0"; becomes the Chrome "tid". */
+    std::string track;
+    /** Interval for complete events; start == end for instants. */
+    Tick start;
+    Tick end;
+    /** Counter level for counter events. */
+    double value;
+};
+
+/** Per-thread event collector. */
+class Tracer
+{
+  public:
+    /**
+     * @param filter category glob (comma-separated alternatives);
+     *               empty or "*" records every category
+     */
+    explicit Tracer(std::string filter = "");
+
+    /** @return true when @p category passes the filter. */
+    bool wants(const char *category) const;
+
+    /** Record a duration event over [start, end]. */
+    void
+    complete(const char *category, const std::string &track,
+             const char *name, Tick start, Tick end)
+    {
+        if (!wants(category))
+            return;
+        events_.push_back({Event::Ph::complete, category, name, track,
+                           start, end < start ? start : end, 0.0});
+    }
+
+    /** Record a point-in-time event. */
+    void
+    instant(const char *category, const std::string &track,
+            const char *name, Tick when)
+    {
+        if (!wants(category))
+            return;
+        events_.push_back(
+            {Event::Ph::instant, category, name, track, when, when, 0.0});
+    }
+
+    /** Record a counter sample (the level of @p name at @p when). */
+    void
+    counter(const char *category, const std::string &track,
+            const char *name, Tick when, double value)
+    {
+        if (!wants(category))
+            return;
+        events_.push_back(
+            {Event::Ph::counter, category, name, track, when, when, value});
+    }
+
+    const std::vector<Event> &events() const { return events_; }
+    std::vector<Event> takeEvents() { return std::move(events_); }
+    const std::string &filter() const { return filter_; }
+
+  private:
+    std::string filter_;
+    std::vector<Event> events_;
+};
+
+/**
+ * @return the tracer installed on this thread, or nullptr when
+ * tracing is off (the common case; callers branch on it).
+ */
+Tracer *current();
+
+/** RAII install/restore of the thread's current tracer. */
+class ScopedTracer
+{
+  public:
+    explicit ScopedTracer(Tracer *t);
+    ~ScopedTracer();
+
+    ScopedTracer(const ScopedTracer &) = delete;
+    ScopedTracer &operator=(const ScopedTracer &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+/**
+ * RAII duration span. Captures the start tick on construction and
+ * emits one complete event on destruction; call finish() to set the
+ * end tick (otherwise the span closes zero-length at its start).
+ * Does nothing when tracing is off.
+ */
+class Span
+{
+  public:
+    Span(const char *category, std::string track, const char *name,
+         Tick start)
+        : tracer_(current()), category_(category), name_(name),
+          track_(std::move(track)), start_(start), end_(start)
+    {}
+
+    ~Span()
+    {
+        if (tracer_)
+            tracer_->complete(category_, track_, name_, start_, end_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Set the end tick emitted when the span closes. */
+    void finish(Tick end) { end_ = end; }
+
+  private:
+    Tracer *tracer_;
+    const char *category_;
+    const char *name_;
+    std::string track_;
+    Tick start_;
+    Tick end_;
+};
+
+/**
+ * A labelled group of events, one per traced job. A single-job trace
+ * is one group with an empty label; a merged sweep trace carries one
+ * group per system×workload job.
+ */
+struct Group
+{
+    std::string label;
+    std::vector<Event> events;
+};
+
+/**
+ * Render @p groups as Chrome Trace Event Format JSON. Processes
+ * (pids) are "label/category" pairs, threads (tids) are tracks;
+ * process_name/thread_name metadata events label both. Validates as
+ * plain JSON and loads in Perfetto / chrome://tracing.
+ */
+void writeChromeTrace(std::ostream &os, const std::vector<Group> &groups);
+
+/**
+ * Render a compact per-component summary: for every (process, name)
+ * the event count and, for durations, total/mean busy time; for
+ * counters, the peak and final level.
+ */
+void writeSummary(std::ostream &os, const std::vector<Group> &groups);
+
+} // namespace trace
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_TRACE_HH

@@ -15,6 +15,7 @@
 #include "pram/geometry.hh"
 #include "energy/energy_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/trace.hh"
 #include "systems/metrics.hh"
 #include "workload/polybench.hh"
 
@@ -74,7 +75,10 @@ class AcceleratedSystem
     {
         workload::WorkloadSpec scaled =
             spec.scaled(opts_.workloadScale);
+        trace::Span runSpan(trace::catSystem, name_, "run",
+                            eq_.curTick());
         RunResult result = doRun(scaled);
+        runSpan.finish(eq_.curTick());
         result.system = name_;
         result.workload = spec.name;
         result.bytesProcessed = scaled.totalBytes();

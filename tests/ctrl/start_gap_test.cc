@@ -108,6 +108,67 @@ TEST(StartGapTest, WearSpreadsAcrossPhysicalLines)
     EXPECT_GT(touched.size(), 30u);
 }
 
+TEST(StartGapTest, BijectionAndGapCoverageProperty)
+{
+    // Across well over 2*N*period writes: map() must stay a bijection
+    // from the N logical lines onto the N+1 physical lines minus the
+    // current gap; every reported move must name valid physical lines
+    // with movedTo() being the previous gap; and the rotation must
+    // eventually park the gap on every physical line (including the
+    // gapPos == 0 wrap back to the top).
+    constexpr std::uint64_t n = 10;
+    constexpr std::uint64_t period = 4;
+    StartGapMapper sg(n, period);
+    const std::uint64_t phys = sg.numPhysicalLines();
+
+    auto gapOf = [&]() {
+        // The gap is the one physical line no logical line maps to.
+        std::vector<bool> used(phys, false);
+        for (std::uint64_t la = 0; la < n; ++la) {
+            std::uint64_t pa = sg.map(la);
+            EXPECT_LT(pa, phys);
+            EXPECT_FALSE(used[pa]) << "map() not injective";
+            used[pa] = true;
+        }
+        std::uint64_t gap = phys;
+        for (std::uint64_t pa = 0; pa < phys; ++pa) {
+            if (!used[pa]) {
+                EXPECT_EQ(gap, phys) << "more than one unmapped line";
+                gap = pa;
+            }
+        }
+        EXPECT_LT(gap, phys) << "no gap line left unmapped";
+        return gap;
+    };
+
+    std::set<std::uint64_t> gap_positions;
+    std::uint64_t gap_before = gapOf();
+    gap_positions.insert(gap_before);
+
+    const std::uint64_t writes = 3 * n * period * (n + 1);
+    for (std::uint64_t w = 0; w < writes; ++w) {
+        bool moved = sg.recordWrite();
+        std::uint64_t gap_after = gapOf();
+        if (moved) {
+            EXPECT_LT(sg.movedFrom(), phys);
+            EXPECT_LT(sg.movedTo(), phys);
+            EXPECT_NE(sg.movedFrom(), sg.movedTo());
+            // The old gap received the copy; the source became the
+            // new gap (on wrap: from the top physical line).
+            EXPECT_EQ(sg.movedTo(), gap_before);
+            EXPECT_EQ(sg.movedFrom(), gap_after);
+            if (gap_before == 0)
+                EXPECT_EQ(gap_after, phys - 1) << "wrap must jump to top";
+        } else {
+            EXPECT_EQ(gap_after, gap_before) << "gap moved off-period";
+        }
+        gap_before = gap_after;
+        gap_positions.insert(gap_after);
+    }
+    EXPECT_EQ(gap_positions.size(), phys)
+        << "every physical line must eventually serve as the gap";
+}
+
 TEST(StartGapDeathTest, RejectsDegenerateConfigs)
 {
     EXPECT_DEATH(StartGapMapper(0), "at least one line");

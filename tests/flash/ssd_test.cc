@@ -85,6 +85,49 @@ TEST(DramCacheTest, HitRateStat)
     EXPECT_DOUBLE_EQ(c.cacheStats().hitRate(), 0.5);
 }
 
+TEST(DramCacheTest, WatermarkZeroTripsOnFirstDirtyPage)
+{
+    DramCacheConfig cfg = tinyCache();
+    cfg.dirtyWatermark = 0.0;
+    DramCache c(cfg, "c");
+    EXPECT_FALSE(c.overDirtyWatermark()); // empty cache: nothing dirty
+    c.insert(0, false);
+    EXPECT_FALSE(c.overDirtyWatermark()); // clean pages don't count
+    c.insert(1, true);
+    EXPECT_TRUE(c.overDirtyWatermark());
+    c.markClean(1);
+    EXPECT_FALSE(c.overDirtyWatermark());
+}
+
+TEST(DramCacheTest, WatermarkOneNeverTrips)
+{
+    DramCacheConfig cfg = tinyCache();
+    cfg.dirtyWatermark = 1.0;
+    DramCache c(cfg, "c");
+    for (std::uint64_t lpn = 0; lpn < 4; ++lpn)
+        c.insert(lpn, true);
+    EXPECT_EQ(c.dirtyPages(), 4u); // every page dirty
+    EXPECT_FALSE(c.overDirtyWatermark());
+}
+
+TEST(DramCacheTest, RefreshCleanEntryToDirtyCountsForWatermark)
+{
+    DramCacheConfig cfg = tinyCache();
+    cfg.dirtyWatermark = 0.0;
+    DramCache c(cfg, "c");
+    c.insert(7, false);
+    EXPECT_FALSE(c.overDirtyWatermark());
+    // Re-inserting the resident clean page as dirty must upgrade it
+    // (not be dropped as a duplicate) and trip the zero watermark.
+    c.insert(7, true);
+    EXPECT_EQ(c.dirtyPages(), 1u);
+    EXPECT_EQ(c.residentPages(), 1u);
+    EXPECT_TRUE(c.overDirtyWatermark());
+    // Upgrading again must not double-count.
+    c.insert(7, true);
+    EXPECT_EQ(c.dirtyPages(), 1u);
+}
+
 // --------------------------- Firmware -----------------------------
 
 TEST(FirmwareTest, QueuesBeyondCoreCount)
@@ -207,6 +250,44 @@ TEST_F(SsdTest, SustainedWritesThrottleToFlashSpeed)
     for (std::uint64_t id : ids)
         slowest = std::max(slowest, done[id]);
     EXPECT_GT(slowest, fromUs(300));
+}
+
+TEST_F(SsdTest, WatermarkZeroThrottlesEveryBufferedWrite)
+{
+    // Regression: the watermark used to be checked before the write
+    // being serviced was inserted dirty, so dirtyWatermark = 0.0 let
+    // the first write through unthrottled (n-1 throttles for n
+    // writes). The write in flight counts: every write throttles.
+    SsdConfig cfg = SsdConfig::slc();
+    cfg.buffer.dirtyWatermark = 0.0;
+    auto ssd = make(cfg);
+    for (int i = 0; i < 3; ++i) {
+        ctrl::MemRequest req;
+        req.kind = ctrl::ReqKind::write;
+        req.addr = std::uint64_t(i) * 16384;
+        req.size = 16384;
+        ssd->enqueue(req);
+    }
+    eq.run();
+    EXPECT_EQ(ssd->ssdStats().bufferThrottledWrites, 3u);
+}
+
+TEST_F(SsdTest, WatermarkOneNeverThrottles)
+{
+    SsdConfig cfg = SsdConfig::slc();
+    cfg.buffer.dirtyWatermark = 1.0;
+    auto ssd = make(cfg); // 8-page buffer
+    for (int i = 0; i < 12; ++i) { // spills the buffer
+        ctrl::MemRequest req;
+        req.kind = ctrl::ReqKind::write;
+        req.addr = std::uint64_t(i) * 16384;
+        req.size = 16384;
+        ssd->enqueue(req);
+    }
+    eq.run();
+    EXPECT_EQ(ssd->ssdStats().bufferThrottledWrites, 0u);
+    // Capacity pressure still drains dirty victims through eviction.
+    EXPECT_GT(ssd->cacheStats().dirtyEvictions, 0u);
 }
 
 TEST_F(SsdTest, MultiPageRequestCompletesOnce)

@@ -9,9 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "runner/sweep_runner.hh"
+#include "runner/trace_export.hh"
 #include "sim/logging.hh"
 
 namespace dramless
@@ -139,6 +143,43 @@ TEST(DeterminismTest, DramlessJobsEnvSelectsWorkerCount)
 
     ASSERT_EQ(unsetenv("DRAMLESS_JOBS"), 0);
     EXPECT_EQ(runner::jobsFromEnv(), 0u);
+}
+
+TEST(DeterminismTest, TracingOnDoesNotPerturbResults)
+{
+    // Tracing only observes the simulation; results with
+    // DRAMLESS_TRACE set must stay bit-identical to an untraced
+    // serial run, and the merged session file must be produced.
+    auto jobs = sampleJobs();
+
+    std::vector<RunResult> ref = SweepRunner(1).run(jobs);
+
+    std::string tracePath = std::string(::testing::TempDir()) +
+                            "/dramless_determinism_trace.json";
+    ASSERT_EQ(setenv("DRAMLESS_TRACE", tracePath.c_str(), 1), 0);
+    std::vector<RunResult> par = SweepRunner(4).run(jobs);
+    runner::flushTraceSessions();
+    ASSERT_EQ(unsetenv("DRAMLESS_TRACE"), 0);
+
+    ASSERT_EQ(par.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE(jobs[i].system + "/" + jobs[i].workload);
+        expectResultIdentical(ref[i], par[i]);
+    }
+
+    std::ifstream trace(tracePath);
+    ASSERT_TRUE(trace.good()) << tracePath;
+    std::stringstream buf;
+    buf << trace.rdbuf();
+    EXPECT_NE(buf.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(buf.str().find("\"ph\":\"X\""), std::string::npos);
+
+    std::remove(tracePath.c_str());
+    for (const auto &job : jobs) {
+        std::remove(runner::jobTracePath(tracePath, job.system,
+                                         job.workload)
+                        .c_str());
+    }
 }
 
 TEST(DeterminismTest, ResultsKeepJobOrderRegardlessOfFinishOrder)

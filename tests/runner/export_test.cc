@@ -393,5 +393,43 @@ TEST(ResultSinkTest, ExportFromEnvWritesRequestedFiles)
     std::remove(csvPath.c_str());
 }
 
+// Regression: export failures must be fatal and name the offending
+// path; a sweep that silently drops its results is worse than one
+// that dies loudly.
+TEST(ResultSinkDeathTest, FatalOnUnopenablePath)
+{
+    setQuiet(true);
+    runner::ResultSink sink("unit");
+    sink.add(sampleRun("A", "w"));
+    EXPECT_DEATH(
+        {
+            setenv("DRAMLESS_OUT_JSON",
+                   "/nonexistent_dramless_dir/out.json", 1);
+            sink.exportFromEnv();
+        },
+        "cannot open JSON output file "
+        "'/nonexistent_dramless_dir/out.json'");
+}
+
+TEST(ResultSinkDeathTest, FatalWhenDeviceRejectsWrite)
+{
+    // /dev/full accepts the open but fails on flush; the error used
+    // to be swallowed by the ofstream destructor.
+    {
+        std::ofstream probe("/dev/full");
+        if (!probe.is_open())
+            GTEST_SKIP() << "/dev/full unavailable";
+    }
+    setQuiet(true);
+    runner::ResultSink sink("unit");
+    sink.add(sampleRun("A", "w"));
+    EXPECT_DEATH(
+        {
+            setenv("DRAMLESS_OUT_CSV", "/dev/full", 1);
+            sink.exportFromEnv();
+        },
+        "error writing CSV output file '/dev/full'");
+}
+
 } // namespace
 } // namespace dramless

@@ -73,10 +73,33 @@ TEST(HistogramTest, UnderflowAndOverflow)
 {
     Histogram h("h", 0.0, 10.0, 2);
     h.sample(-1.0);
-    h.sample(10.0); // hi bound is exclusive
+    h.sample(10.0); // hi bound is inclusive: last bucket, not overflow
     h.sample(100.0, 3);
     EXPECT_EQ(h.underflow(), 1u);
-    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+}
+
+// Regression: a sample exactly equal to hi used to fall into the
+// overflow bin because (hi - lo) / width indexed one past the last
+// bucket.
+TEST(HistogramTest, BoundarySamplesPinned)
+{
+    Histogram h("h", 2.0, 12.0, 5); // buckets of width 2
+    h.sample(2.0);  // lo: first bucket
+    h.sample(4.0);  // interior boundary: opens second bucket
+    h.sample(12.0); // hi: last bucket
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    // Values either side of the range still land outside.
+    h.sample(std::nextafter(2.0, -1.0));
+    h.sample(std::nextafter(12.0, 100.0));
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.totalSamples(), 5u);
 }
 
@@ -148,6 +171,31 @@ TEST(TimeSeriesTest, DownsampleNoOpWhenSmall)
     ts.record(1, 2.0);
     auto pts = ts.downsample(10);
     EXPECT_EQ(pts.size(), 2u);
+}
+
+// Edge pins: max_points == 0 must return the identity series (no
+// division by zero), and max_points > size() must not produce empty
+// windows — both come back untouched.
+TEST(TimeSeriesTest, DownsampleEdgeCases)
+{
+    TimeSeries ts("t");
+    for (Tick i = 0; i < 7; ++i)
+        ts.record(i, double(i) * 2.0);
+
+    auto zero = ts.downsample(0);
+    ASSERT_EQ(zero.size(), 7u);
+    for (std::size_t i = 0; i < zero.size(); ++i) {
+        EXPECT_EQ(zero[i].when, Tick(i));
+        EXPECT_DOUBLE_EQ(zero[i].value, double(i) * 2.0);
+    }
+
+    auto big = ts.downsample(1000);
+    ASSERT_EQ(big.size(), 7u);
+    EXPECT_DOUBLE_EQ(big[6].value, 12.0);
+
+    TimeSeries empty("e");
+    EXPECT_TRUE(empty.downsample(0).empty());
+    EXPECT_TRUE(empty.downsample(5).empty());
 }
 
 TEST(StatGroupTest, DumpsRegisteredStats)
