@@ -26,13 +26,18 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 # Stage 2: ASan+UBSan profile. The runner determinism suite is the
 # highest-value target under sanitizers: it exercises the thread
-# pool, the trace merge path, and every system model end to end.
+# pool, the trace merge path, and every system model end to end. The
+# reliability suite rides along because its retry/remap paths splice
+# request state and re-issue buffers — exactly where lifetime bugs
+# would hide.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" \
     -DDRAMLESS_SANITIZE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
-cmake --build "$san_dir" -j "$jobs" --target runner_tests
+cmake --build "$san_dir" -j "$jobs" --target runner_tests \
+    reliability_tests
 "$san_dir/tests/runner/runner_tests" \
     --gtest_filter='DeterminismTest.*'
+"$san_dir/tests/reliability/reliability_tests"
 
 echo "check.sh: all tests passed (DRAMLESS_JOBS=$DRAMLESS_JOBS)"

@@ -376,7 +376,7 @@ ChannelController::evaluate(const ModuleState &mstate,
             inflight_hit_at <
                 now + mod.timing().tRCD + mod.timing().preActiveTime()) {
             // Cheaper to wait for the in-flight sense to complete.
-            f.earliest = inflight_hit_at;
+            f.earliest = std::max(inflight_hit_at, sub.phaseReadyAt);
             f.ba = -1;
             f.effectivePhase = Phase::preActive;
             return f;
@@ -398,7 +398,10 @@ ChannelController::evaluate(const ModuleState &mstate,
                 rab_free = std::min(rab_free, mstate.rabBusyUntil[b]);
             if (rab_free == maxTick)
                 return f; // all claimed; unblocked by other sub-ops
-            f.earliest = std::max({now, phy_.caFreeAt(), rab_free});
+            // phaseReadyAt gates a verify-retry's status poll; for
+            // every other sub-op it is <= now here.
+            f.earliest = std::max(
+                {now, phy_.caFreeAt(), rab_free, sub.phaseReadyAt});
             f.ba = -1;
             f.effectivePhase = Phase::preActive;
             return f;
@@ -568,14 +571,48 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
     if (sub.opIdx < sub.ops.size())
         return; // sequence continues
 
-    // Sub-op fully issued: release resources and record completion.
-    --mstate.inFlight;
+    // Sub-op fully issued: check device verify status (writes),
+    // release resources, and record completion.
     if (sub.isWrite) {
         panic_if(!was_execute, "write sequence ended without execute");
+        Tick durable = mod.lastProgramEnd();
+        bool verify_failed = faults_ && mod.lastProgramVerifyFailed();
+        if (verify_failed && sub.retries < relCfg_.maxProgramRetries) {
+            // Program-and-verify re-pulse: the overlay-window
+            // registers and program buffer still hold the operation,
+            // so only the execute write is replayed after a status
+            // poll. The sub-op keeps the OW sequence lock and stays
+            // in flight.
+            ++sub.retries;
+            ++stats_.verifyRetries;
+            --sub.opIdx;
+            sub.phase = Phase::preActive;
+            sub.phaseReadyAt = durable + relCfg_.verifyCost;
+            if (auto *t = trace::current()) {
+                t->instant(trace::catCtrl, name_, "verify.retry",
+                           durable);
+                t->counter(trace::catCtrl, name_, "verifyRetries",
+                           durable, double(stats_.verifyRetries));
+            }
+            return;
+        }
+        if (verify_failed) {
+            // Retries exhausted: the line is worn out. Demand writes
+            // report the failure upward (the subsystem remaps the
+            // line to a spare); a failed pre-RESET is harmless — the
+            // word simply stays non-pristine.
+            ++stats_.verifyFailedWrites;
+            if (auto *t = trace::current()) {
+                t->instant(trace::catCtrl, name_, "verify.exhausted",
+                           durable);
+            }
+        }
+        --mstate.inFlight;
         mstate.owSeqOwner = nullptr;
         mstate.lastCode = pram::ow::cmdBufferProgram;
-        Tick durable = mod.lastProgramEnd();
         if (sub.isZeroFill) {
+            if (verify_failed)
+                ++stats_.zeroFillVerifyDrops;
             DPRINTF("Ctrl", "mod%u zero-fill word=%llu durable@%llu",
                     sub.module,
                     (unsigned long long)sub.moduleWord,
@@ -598,8 +635,9 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
                    seqs.end());
         if (seqs.empty())
             mstate.pendingWrites.erase(sub.moduleWord);
-        finishSubOp(sub, durable);
+        finishSubOp(sub, durable, verify_failed);
     } else {
+        --mstate.inFlight;
         finishSubOp(sub, bt.lastData);
     }
 
@@ -614,15 +652,35 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
 }
 
 void
-ChannelController::finishSubOp(const SubOp &sub, Tick when)
+ChannelController::finishSubOp(const SubOp &sub, Tick when,
+                               bool failed)
 {
     auto it = requests_.find(sub.reqId);
     panic_if(it == requests_.end(), "sub-op of unknown request");
     RequestState &rstate = it->second;
     panic_if(rstate.remainingSubOps == 0, "request over-completed");
     rstate.latestCompletion = std::max(rstate.latestCompletion, when);
+    if (failed && !rstate.failed) {
+        rstate.failed = true;
+        rstate.failedAddr =
+            (sub.moduleWord * modules_.size() + sub.module) *
+            geom_.rowBufferBytes;
+    }
     if (--rstate.remainingSubOps == 0)
         pushCompletion(rstate.latestCompletion, sub.reqId);
+}
+
+void
+ChannelController::configureReliability(
+    const reliability::ReliabilityConfig &cfg, std::uint64_t salt)
+{
+    relCfg_ = cfg;
+    faults_.reset();
+    if (!cfg.enabled)
+        return;
+    faults_.emplace(cfg);
+    for (std::uint32_t m = 0; m < modules_.size(); ++m)
+        modules_[m]->attachFaults(&*faults_, reliability::mix(salt, m));
 }
 
 void
@@ -658,8 +716,10 @@ ChannelController::completionTrigger()
                 t->counter(trace::catCtrl, name_, "demandQueueDepth",
                            now, double(queuedSubOps()));
             }
-            if (callback_)
-                callback_(MemResponse{id, now});
+            if (callback_) {
+                callback_(MemResponse{id, now, rstate.failed,
+                                      rstate.failedAddr});
+            }
         }
     }
     if (!completions_.empty()) {

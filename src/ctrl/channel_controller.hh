@@ -23,6 +23,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -32,6 +33,7 @@
 #include "ctrl/request.hh"
 #include "ctrl/scheduler.hh"
 #include "pram/pram_module.hh"
+#include "reliability/fault_model.hh"
 #include "sim/clocked.hh"
 #include "sim/stats.hh"
 
@@ -53,6 +55,12 @@ struct ControllerStats
     std::uint64_t zeroFillSkipped = 0;
     /** Speculative row activations issued by the RDB prefetcher. */
     std::uint64_t prefetchActivates = 0;
+    /** Program-and-verify re-pulses after a failed verify. */
+    std::uint64_t verifyRetries = 0;
+    /** Demand writes that exhausted every verify retry. */
+    std::uint64_t verifyFailedWrites = 0;
+    /** Zero-fill programs dropped after exhausting retries. */
+    std::uint64_t zeroFillVerifyDrops = 0;
     stats::Average readLatencyNs{"readLatencyNs",
                                  "request read latency"};
     stats::Average writeLatencyNs{"writeLatencyNs",
@@ -87,6 +95,14 @@ class ChannelController : public Clocked
 
     /** Register the completion callback. */
     void setCallback(CompletionCallback cb) { callback_ = std::move(cb); }
+
+    /**
+     * Enable fault injection: attaches a FaultModel to every module
+     * (salted per module) and arms the program-and-verify retry path.
+     * Call before any traffic; a disabled config detaches everything.
+     */
+    void configureReliability(const reliability::ReliabilityConfig &cfg,
+                              std::uint64_t salt);
 
     /** @return usable capacity in bytes (overlay windows excluded). */
     std::uint64_t capacity() const;
@@ -196,6 +212,8 @@ class ChannelController : public Clocked
         bool started = false;
         /** Destination for functional read data. */
         void *readInto = nullptr;
+        /** Program-and-verify re-pulses consumed so far. */
+        std::uint32_t retries = 0;
     };
 
     /** Demand request bookkeeping. */
@@ -205,6 +223,10 @@ class ChannelController : public Clocked
         bool isWrite = false;
         Tick enqueuedAt = 0;
         Tick latestCompletion = 0;
+        /** A word of this request exhausted its verify retries. */
+        bool failed = false;
+        /** Channel-local byte address of the first failed word. */
+        std::uint64_t failedAddr = 0;
     };
 
     /** Per-module scheduler state (move-only: owns sub-ops). */
@@ -312,8 +334,9 @@ class ChannelController : public Clocked
      *  @p m when the prefetcher is enabled and idle. */
     void materializePrefetch(std::uint32_t m);
 
-    /** Record that sub-op @p sub finishes at @p when. */
-    void finishSubOp(const SubOp &sub, Tick when);
+    /** Record that sub-op @p sub finishes at @p when; @p failed marks
+     *  a write whose program exhausted every verify retry. */
+    void finishSubOp(const SubOp &sub, Tick when, bool failed = false);
 
     /** Completion event machinery. */
     void completionTrigger();
@@ -339,6 +362,9 @@ class ChannelController : public Clocked
     EventFunctionWrapper schedulerEvent_;
     EventFunctionWrapper completionEvent_;
     bool inSchedule_ = false;
+    /** Reliability knobs; faults_ engaged only when enabled. */
+    reliability::ReliabilityConfig relCfg_;
+    std::optional<reliability::FaultModel> faults_;
 };
 
 } // namespace ctrl

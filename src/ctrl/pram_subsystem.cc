@@ -32,15 +32,24 @@ PramSubsystem::PramSubsystem(EventQueue &eq,
             [this, c](const MemResponse &resp) {
                 onChannelComplete(c, resp);
             });
+        if (config.reliability.enabled)
+            channels_[c]->configureReliability(config.reliability, c);
     }
+    physicalStripes_ = channels_.front()->capacity() *
+                       config.channels / config.stripeBytes;
+    spareCount_ = config.reliability.enabled
+                      ? config.reliability.spareLines
+                      : 0;
+    fatal_if(physicalStripes_ <= spareCount_,
+             "%s: capacity too small for %u spare lines",
+             name_.c_str(), spareCount_);
+    // Spares are carved off the top of physical capacity and handed
+    // out in increasing order as lines wear out.
+    nextSpare_ = physicalStripes_ - spareCount_;
     if (config.wearLeveling) {
-        std::uint64_t physical_stripes =
-            channels_.front()->capacity() * config.channels /
-            config.stripeBytes;
-        fatal_if(physical_stripes < 2,
-                 "capacity too small for wear leveling");
-        wearLevel_.emplace(physical_stripes - 1,
-                           config.gapMovePeriod);
+        std::uint64_t avail = physicalStripes_ - spareCount_;
+        fatal_if(avail < 2, "capacity too small for wear leveling");
+        wearLevel_.emplace(avail - 1, config.gapMovePeriod);
     }
 }
 
@@ -60,11 +69,9 @@ PramSubsystem::setCallback(CompletionCallback cb)
 std::uint64_t
 PramSubsystem::capacity() const
 {
-    std::uint64_t raw =
-        channels_.front()->capacity() * channels_.size();
     if (wearLevel_)
         return wearLevel_->numLines() * config_.stripeBytes;
-    return raw;
+    return (physicalStripes_ - spareCount_) * config_.stripeBytes;
 }
 
 std::pair<std::uint32_t, std::uint64_t>
@@ -79,14 +86,35 @@ PramSubsystem::route(std::uint64_t addr) const
 }
 
 std::uint64_t
+PramSubsystem::unroute(std::uint32_t ch,
+                       std::uint64_t chan_addr) const
+{
+    std::uint64_t stripe =
+        (chan_addr / config_.stripeBytes) * channels_.size() + ch;
+    return stripe * config_.stripeBytes +
+           chan_addr % config_.stripeBytes;
+}
+
+std::uint64_t
+PramSubsystem::resolveLine(std::uint64_t line) const
+{
+    auto it = physRemap_.find(line);
+    while (it != physRemap_.end()) {
+        line = it->second;
+        it = physRemap_.find(line);
+    }
+    return line;
+}
+
+std::uint64_t
 PramSubsystem::remap(std::uint64_t addr) const
 {
-    if (!wearLevel_)
-        return addr;
     std::uint64_t line = addr / config_.stripeBytes;
-    std::uint64_t physical = wearLevel_->map(line);
-    return physical * config_.stripeBytes +
-           addr % config_.stripeBytes;
+    if (wearLevel_)
+        line = wearLevel_->map(line);
+    if (!physRemap_.empty())
+        line = resolveLine(line);
+    return line * config_.stripeBytes + addr % config_.stripeBytes;
 }
 
 bool
@@ -183,7 +211,65 @@ PramSubsystem::issuePiece(std::uint64_t outer_id,
     auto [ch, chan_addr] = route(remap(piece.addr));
     routed.addr = chan_addr;
     std::uint64_t piece_id = channels_[ch]->enqueue(routed);
-    pieceToOuter_[ch][piece_id] = outer_id;
+    pieceToOuter_[ch][piece_id] =
+        PieceInfo{outer_id, piece.addr, piece.size,
+                  piece.kind == ReqKind::write};
+}
+
+std::uint64_t
+PramSubsystem::retireLine(std::uint32_t ch, std::uint64_t chan_addr)
+{
+    std::uint64_t bad = unroute(ch, chan_addr) / config_.stripeBytes;
+    fatal_if(stats_.spareLinesUsed >= spareCount_,
+             "%s: spare pool exhausted (physical line %llu failed "
+             "with all %u spares consumed)",
+             name_.c_str(), (unsigned long long)bad, spareCount_);
+    std::uint64_t spare = nextSpare_++;
+    physRemap_[bad] = spare;
+    ++stats_.badLineRemaps;
+    ++stats_.spareLinesUsed;
+    if (stats_.badLineRemaps == 1) {
+        stats_.writesBeforeFirstRemap = stats_.writeRequests;
+        stats_.firstRemapTick = eventq_.curTick();
+    }
+    warn("%s: remapped worn-out line %llu to spare %llu (%u/%u "
+         "spares used)",
+         name_.c_str(), (unsigned long long)bad,
+         (unsigned long long)spare,
+         std::uint32_t(stats_.spareLinesUsed), spareCount_);
+    if (auto *t = trace::current()) {
+        t->instant(trace::catCtrl, name_, "reliability.remap",
+                   eventq_.curTick());
+        t->counter(trace::catCtrl, name_, "spareLinesFree",
+                   eventq_.curTick(), double(spareLinesFree()));
+    }
+    // Migrate the stripe's content so reads keep working: the module
+    // store retains data even for verify-failed programs (the write
+    // driver still toggled the cells; they just won't hold reliably).
+    if (config_.functional) {
+        std::vector<std::uint8_t> buf(config_.stripeBytes);
+        auto [fch, faddr] = route(bad * config_.stripeBytes);
+        channels_[fch]->functionalRead(faddr, buf.data(), buf.size());
+        auto [tch, taddr] = route(spare * config_.stripeBytes);
+        channels_[tch]->functionalWrite(taddr, buf.data(),
+                                        buf.size());
+    }
+    return spare;
+}
+
+void
+PramSubsystem::handleInternalWriteFailure(std::uint32_t ch,
+                                          std::uint64_t chan_addr)
+{
+    // A gap-move copy exhausted its retries: retire the line and
+    // redo the copy against the spare (completion again ignored).
+    std::uint64_t spare = retireLine(ch, chan_addr);
+    auto [tch, taddr] = route(spare * config_.stripeBytes);
+    MemRequest internal;
+    internal.kind = ReqKind::write;
+    internal.addr = taddr;
+    internal.size = config_.stripeBytes;
+    channels_[tch]->enqueue(internal);
 }
 
 void
@@ -192,10 +278,38 @@ PramSubsystem::onChannelComplete(std::uint32_t ch,
 {
     auto &map = pieceToOuter_[ch];
     auto it = map.find(resp.id);
-    if (it == map.end())
-        return; // internal traffic (wear-leveling copy)
-    std::uint64_t outer_id = it->second;
+    if (it == map.end()) {
+        // Internal traffic (wear-leveling copy): only its failure
+        // needs handling.
+        if (resp.failed)
+            handleInternalWriteFailure(ch, resp.failedAddr);
+        return;
+    }
+    PieceInfo info = it->second;
+    std::uint64_t outer_id = info.outer;
     map.erase(it);
+
+    if (resp.failed && info.isWrite) {
+        // The piece hit a worn-out line: remap it to a spare and
+        // re-issue against the new mapping. The outer request stays
+        // pending and completes when the re-issued piece does —
+        // graceful degradation, fatal only on spare exhaustion.
+        retireLine(ch, resp.failedAddr);
+        MemRequest piece;
+        piece.kind = ReqKind::write;
+        piece.addr = info.addr;
+        piece.size = info.size;
+        std::vector<std::uint8_t> buf;
+        if (config_.functional) {
+            // Re-read through the new mapping (the migrated copy) so
+            // the replayed write carries the original data.
+            buf.resize(info.size);
+            functionalRead(info.addr, buf.data(), buf.size());
+            piece.writeFrom = buf.data();
+        }
+        issuePiece(outer_id, piece);
+        return;
+    }
 
     auto oit = outer_.find(outer_id);
     panic_if(oit == outer_.end(), "piece of unknown outer request");
@@ -227,9 +341,12 @@ PramSubsystem::recordWearLevelWrites(std::uint64_t stripes)
         }
         // Copy the physical stripe behind the gap into the gap:
         // functional move plus a timed internal write of one stripe.
-        std::uint64_t from =
-            wearLevel_->movedFrom() * config_.stripeBytes;
-        std::uint64_t to = wearLevel_->movedTo() * config_.stripeBytes;
+        // Either line may have been retired to a spare by the
+        // reliability layer, so resolve through the remap chain.
+        std::uint64_t from = resolveLine(wearLevel_->movedFrom()) *
+                             config_.stripeBytes;
+        std::uint64_t to =
+            resolveLine(wearLevel_->movedTo()) * config_.stripeBytes;
         if (config_.functional) {
             std::vector<std::uint8_t> buf(config_.stripeBytes);
             auto [fch, faddr] = route(from);
@@ -245,7 +362,28 @@ PramSubsystem::recordWearLevelWrites(std::uint64_t stripes)
         internal.addr = taddr;
         internal.size = config_.stripeBytes;
         channels_[tch]->enqueue(internal); // completion ignored
+        // The copy is a real PRAM write: account its wear (the gap
+        // line absorbs one stripe) without feeding the gap-move
+        // period — a move must never trigger another move.
+        ++stats_.gapMoveWrites;
+        stats_.gapMoveBytes += config_.stripeBytes;
+        if (auto *t = trace::current()) {
+            t->counter(trace::catCtrl, name_, "gapMoveWrites",
+                       eventq_.curTick(),
+                       double(stats_.gapMoveWrites));
+        }
     }
+}
+
+std::uint64_t
+PramSubsystem::maxLineWear() const
+{
+    std::uint64_t wear = 0;
+    for (const auto &ch : channels_) {
+        for (std::uint32_t m = 0; m < ch->numModules(); ++m)
+            wear = std::max(wear, ch->module(m).maxWordWear());
+    }
+    return wear;
 }
 
 void

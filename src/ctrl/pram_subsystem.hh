@@ -22,6 +22,7 @@
 #include "ctrl/start_gap.hh"
 #include "pram/geometry.hh"
 #include "pram/timing.hh"
+#include "reliability/fault_model.hh"
 #include "sim/event_queue.hh"
 
 namespace dramless
@@ -54,6 +55,9 @@ struct SubsystemConfig
     /** Modeled boot-up latency of the initializer (auto init,
      *  impedance calibration, burst-length and OW setup). */
     Tick bootLatency = fromUs(150);
+    /** Fault injection / endurance knobs (disabled by default, in
+     *  which case nothing below the facade changes behavior). */
+    reliability::ReliabilityConfig reliability{};
 };
 
 /** Aggregated subsystem statistics. */
@@ -64,6 +68,20 @@ struct SubsystemStats
     std::uint64_t bytesRead = 0;
     std::uint64_t bytesWritten = 0;
     std::uint64_t wearLevelMoves = 0;
+    /** PRAM line writes performed by gap-move copies (these wear the
+     *  media like demand writes but are issued internally). */
+    std::uint64_t gapMoveWrites = 0;
+    /** Bytes written by gap-move copies. */
+    std::uint64_t gapMoveBytes = 0;
+    /** Worn-out lines remapped into the spare pool. */
+    std::uint64_t badLineRemaps = 0;
+    /** Spare lines consumed so far (== badLineRemaps). */
+    std::uint64_t spareLinesUsed = 0;
+    /** Demand write requests served before the first remap
+     *  (lifetime-to-first-remap; 0 when no remap happened). */
+    std::uint64_t writesBeforeFirstRemap = 0;
+    /** Tick of the first bad-line remap (0 when none). */
+    Tick firstRemapTick = 0;
 };
 
 /**
@@ -137,6 +155,17 @@ class PramSubsystem
         return wearLevel_ ? &*wearLevel_ : nullptr;
     }
 
+    /** @return spare lines still available for bad-line remapping. */
+    std::uint32_t
+    spareLinesFree() const
+    {
+        return spareCount_ - std::uint32_t(stats_.spareLinesUsed);
+    }
+
+    /** @return the highest per-word wear across all modules (0 when
+     *  injection is disabled). */
+    std::uint64_t maxLineWear() const;
+
     const std::string &name() const { return name_; }
     const SubsystemConfig &config() const { return config_; }
 
@@ -145,8 +174,28 @@ class PramSubsystem
     std::pair<std::uint32_t, std::uint64_t>
     route(std::uint64_t addr) const;
 
-    /** Apply the wear-leveling rotation to a stripe-aligned range. */
+    /** Inverse of route(): channel-local address back to flat. */
+    std::uint64_t unroute(std::uint32_t ch,
+                          std::uint64_t chan_addr) const;
+
+    /** Apply the wear-leveling rotation plus bad-line remapping. */
     std::uint64_t remap(std::uint64_t addr) const;
+
+    /** Follow the bad-line remap chain to the live physical line. */
+    std::uint64_t resolveLine(std::uint64_t line) const;
+
+    /**
+     * Retire the physical line behind channel-local @p chan_addr on
+     * channel @p ch into the next spare (fatal when the pool is
+     * exhausted), migrating its content.
+     * @return the spare line now holding the data.
+     */
+    std::uint64_t retireLine(std::uint32_t ch,
+                             std::uint64_t chan_addr);
+
+    /** A gap-move (internal) write exhausted its retries. */
+    void handleInternalWriteFailure(std::uint32_t ch,
+                                    std::uint64_t chan_addr);
 
     /** Issue one contiguous (post-split) piece to its channel. */
     void issuePiece(std::uint64_t outer_id, const MemRequest &piece);
@@ -165,12 +214,23 @@ class PramSubsystem
         bool isWrite = false;
     };
 
+    /** Bookkeeping for one channel-level piece of an outer request
+     *  (enough to re-issue it after a bad-line remap). */
+    struct PieceInfo
+    {
+        std::uint64_t outer = 0;
+        /** Logical (pre-remap) flat address of the piece. */
+        std::uint64_t addr = 0;
+        std::uint32_t size = 0;
+        bool isWrite = false;
+    };
+
     std::string name_;
     SubsystemConfig config_;
     EventQueue &eventq_;
     std::vector<std::unique_ptr<ChannelController>> channels_;
-    /** Per-channel map from channel request id to outer id. */
-    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>>
+    /** Per-channel map from channel request id to piece info. */
+    std::vector<std::unordered_map<std::uint64_t, PieceInfo>>
         pieceToOuter_;
     std::unordered_map<std::uint64_t, OuterRequest> outer_;
     std::uint64_t nextOuterId_ = 1;
@@ -178,6 +238,14 @@ class PramSubsystem
     std::optional<StartGapMapper> wearLevel_;
     bool initialized_ = false;
     SubsystemStats stats_;
+    /** Physical stripes across all channels. */
+    std::uint64_t physicalStripes_ = 0;
+    /** Spare stripes reserved off the top (0 when injection off). */
+    std::uint32_t spareCount_ = 0;
+    /** Next unused spare line (grows upward to physicalStripes_). */
+    std::uint64_t nextSpare_ = 0;
+    /** Bad physical line -> replacement line (chains allowed). */
+    std::unordered_map<std::uint64_t, std::uint64_t> physRemap_;
 };
 
 } // namespace ctrl

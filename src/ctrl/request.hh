@@ -44,6 +44,14 @@ struct MemResponse
     std::uint64_t id = 0;
     /** Tick the last byte of the request completed. */
     Tick completedAt = 0;
+    /**
+     * A write word exhausted its program-and-verify retries (only
+     * with fault injection enabled). The subsystem reacts by
+     * remapping the failed line to a spare and re-issuing.
+     */
+    bool failed = false;
+    /** Channel-local byte address of the first failed word. */
+    std::uint64_t failedAddr = 0;
 };
 
 /** Completion callback signature. */

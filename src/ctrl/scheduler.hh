@@ -56,32 +56,52 @@ struct SchedulerConfig
      */
     bool rdbPrefetch = false;
 
+    // The presets use designated initializers on purpose: positional
+    // aggregate init silently mis-binds when a field is added or
+    // reordered (it already skipped rdbPrefetch once).
+
     /** @return Figure 13 "Bare-metal": noop scheduler. */
     static SchedulerConfig
     bareMetal()
     {
-        return SchedulerConfig{false, false, true, 64};
+        return SchedulerConfig{.interleaving = false,
+                               .selectiveErasing = false,
+                               .phaseSkipping = true,
+                               .maxQueuePerModule = 64,
+                               .rdbPrefetch = false};
     }
 
     /** @return Figure 13 "Interleaving". */
     static SchedulerConfig
     interleavingOnly()
     {
-        return SchedulerConfig{true, false, true, 64};
+        return SchedulerConfig{.interleaving = true,
+                               .selectiveErasing = false,
+                               .phaseSkipping = true,
+                               .maxQueuePerModule = 64,
+                               .rdbPrefetch = false};
     }
 
     /** @return Figure 13 "selective-erasing". */
     static SchedulerConfig
     selectiveErasingOnly()
     {
-        return SchedulerConfig{false, true, true, 64};
+        return SchedulerConfig{.interleaving = false,
+                               .selectiveErasing = true,
+                               .phaseSkipping = true,
+                               .maxQueuePerModule = 64,
+                               .rdbPrefetch = false};
     }
 
     /** @return Figure 13 "Final": both techniques (DRAM-less default). */
     static SchedulerConfig
     finalConfig()
     {
-        return SchedulerConfig{true, true, true, 64};
+        return SchedulerConfig{.interleaving = true,
+                               .selectiveErasing = true,
+                               .phaseSkipping = true,
+                               .maxQueuePerModule = 64,
+                               .rdbPrefetch = false};
     }
 
     /** @return a short label for tables. */

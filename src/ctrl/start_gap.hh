@@ -80,10 +80,25 @@ class StartGapMapper
     /** Physical destination line of the most recent gap move. */
     std::uint64_t movedTo() const { return movedTo_; }
 
-    /** @return total writes recorded. */
+    /** @return demand writes recorded via recordWrite(). */
     std::uint64_t writeCount() const { return writeCount_; }
     /** @return total gap movements performed. */
     std::uint64_t gapMoves() const { return gapMoves_; }
+
+    /**
+     * @return PRAM writes performed by gap-move copies themselves.
+     * Each move writes one physical line; these do not feed the
+     * gap-move period (a move never triggers another move) but they
+     * do wear the media and must show up in write accounting.
+     */
+    std::uint64_t gapMoveWrites() const { return gapMoves_; }
+
+    /** @return all PRAM line writes: demand plus gap-move copies. */
+    std::uint64_t
+    totalLineWrites() const
+    {
+        return writeCount_ + gapMoveWrites();
+    }
 
   private:
     void

@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "reliability/fault_model.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "sim/ticks.hh"
 #include "sim/trace.hh"
 
@@ -37,11 +39,26 @@ struct FirmwareConfig
      *  handling, mapping lookup, command construction. */
     Tick perRequestLatency = fromNs(3500);
 
+    /** @name Reliability: request timeout + retry (off by default)
+     *  @{ */
+
+    /** Probability a firmware attempt hangs until the watchdog. */
+    double timeoutProb = 0.0;
+    /** Watchdog delay charged per timed-out attempt. */
+    Tick timeoutPenalty = fromUs(20);
+    /** Re-issues after a timeout before giving up (graceful). */
+    std::uint32_t timeoutRetries = 2;
+    /** Seed for the deterministic timeout decisions. */
+    std::uint64_t faultSeed = 1;
+
+    /** @} */
+
     /** @return the traditional-SSD-firmware preset of Section VI. */
     static FirmwareConfig
     traditionalSsd()
     {
-        return FirmwareConfig{3, fromNs(3500)};
+        return FirmwareConfig{.cores = 3,
+                              .perRequestLatency = fromNs(3500)};
     }
 
     /**
@@ -51,7 +68,7 @@ struct FirmwareConfig
     static FirmwareConfig
     oracle()
     {
-        return FirmwareConfig{1, 0};
+        return FirmwareConfig{.cores = 1, .perRequestLatency = 0};
     }
 };
 
@@ -80,8 +97,28 @@ class FirmwareModel
                                    coreFreeAt_.end());
         Tick start = std::max(earliest, *it);
         Tick done = start + config_.perRequestLatency;
+        // Timeout + retry path: an attempt may hang until the
+        // watchdog fires (deterministic per request ordinal and
+        // attempt). Each timeout costs the watchdog delay; a retry
+        // re-executes the request. After timeoutRetries re-issues
+        // the firmware gives up and completes best-effort — graceful
+        // degradation, never a stall forever.
+        std::uint32_t attempt = 0;
+        while (config_.timeoutProb > 0.0 &&
+               timesOut(numRequests_, attempt)) {
+            ++numTimeouts_;
+            done += config_.timeoutPenalty;
+            if (auto *t = trace::current())
+                t->instant(trace::catFlash, name_, "fw.timeout", done);
+            if (attempt >= config_.timeoutRetries) {
+                ++numTimeoutGiveUps_;
+                break;
+            }
+            ++attempt;
+            done += config_.perRequestLatency;
+        }
         queueTicks_ += start - earliest;
-        busyTicks_ += config_.perRequestLatency;
+        busyTicks_ += done - start;
         *it = done;
         ++numRequests_;
         if (auto *t = trace::current()) {
@@ -106,16 +143,36 @@ class FirmwareModel
     Tick busyTicks() const { return busyTicks_; }
     /** @return aggregate time requests waited for a free core. */
     Tick queueTicks() const { return queueTicks_; }
+    /** @return firmware attempts that hit the watchdog. */
+    std::uint64_t numTimeouts() const { return numTimeouts_; }
+    /** @return requests that exhausted every timeout retry. */
+    std::uint64_t numTimeoutGiveUps() const
+    {
+        return numTimeoutGiveUps_;
+    }
 
     const FirmwareConfig &config() const { return config_; }
 
   private:
+    /** Deterministic timeout draw for (request ordinal, attempt). */
+    bool
+    timesOut(std::uint64_t req, std::uint32_t attempt) const
+    {
+        Random r(reliability::mix(
+            reliability::mix(config_.faultSeed ^ 0x5aa5a55aa55a5aa5ull,
+                             req),
+            attempt));
+        return r.chance(config_.timeoutProb);
+    }
+
     FirmwareConfig config_;
     std::string name_;
     std::vector<Tick> coreFreeAt_;
     std::uint64_t numRequests_ = 0;
     Tick busyTicks_ = 0;
     Tick queueTicks_ = 0;
+    std::uint64_t numTimeouts_ = 0;
+    std::uint64_t numTimeoutGiveUps_ = 0;
 };
 
 } // namespace flash

@@ -62,7 +62,7 @@ class PcieLink
         Tick start = std::max({eventq_.curTick(), earliest,
                                busyUntil_});
         Tick dur = config_.perTransferLatency +
-                   Tick(double(bytes) / config_.bytesPerSec * 1e12);
+                   serializationTicks(bytes, config_.bytesPerSec);
         busyUntil_ = start + dur;
         stats_.busyTicks += dur;
         ++stats_.transfers;

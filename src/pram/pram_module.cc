@@ -216,6 +216,7 @@ PramModule::execute(Tick start)
                   [start](Tick t) { return t <= start; });
     panic_if(programEnds_.size() >= geom_.programSlots,
              "%s: execute with no free program slot", name_.c_str());
+    lastProgramVerifyFailed_ = false;
     switch (window_.code()) {
       case ow::cmdBufferProgram:
         startProgram(start);
@@ -271,6 +272,23 @@ PramModule::startProgram(Tick start)
                                     });
         ProgramKind kind = classifyProgram(word_idx, all_zero);
         Tick latency = programLatency(kind);
+        if (faults_) {
+            // Wear counts every program attempt (retries included):
+            // each pulse train stresses the cells, and a fresh wear
+            // value gives each re-pulse an independent fault draw.
+            std::uint64_t wear = ++wordWear_[word_idx];
+            maxWordWear_ = std::max(maxWordWear_, wear);
+            latency = faults_->programLatency(faultSalt_, word_idx,
+                                              wear, latency);
+            if (faults_->programFails(faultSalt_, word_idx, wear)) {
+                lastProgramVerifyFailed_ = true;
+                ++stats_.numVerifyFailures;
+                if (auto *t = trace::current()) {
+                    t->instant(trace::catPram, name_,
+                               "program.verifyFail", when);
+                }
+            }
+        }
         DPRINTF("Pram", "program word=%llu partition=%u kind=%s "
                 "latency=%.1fus",
                 (unsigned long long)word_idx, d.partition,

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "pram/geometry.hh"
 #include "pram/overlay_window.hh"
 #include "pram/timing.hh"
+#include "reliability/fault_model.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 #include "sim/sparse_memory.hh"
@@ -67,6 +69,8 @@ struct ModuleStats
     std::uint64_t numErases = 0;
     std::uint64_t bytesRead = 0;
     std::uint64_t bytesWritten = 0;
+    /** Program words that failed device-side verification. */
+    std::uint64_t numVerifyFailures = 0;
     /** Aggregate ticks partitions spent busy (sensing/programming). */
     Tick partitionBusyTicks = 0;
 };
@@ -175,6 +179,46 @@ class PramModule : public Clocked
 
     /** @} */
 
+    /** @name Reliability hooks (wear tracking + fault injection) @{ */
+
+    /**
+     * Attach a fault model. Per-word wear is tracked only while a
+     * model is attached (so the default configuration does zero
+     * extra work); @p salt scopes this module's fault decisions so
+     * modules with identical traffic fail independently.
+     */
+    void
+    attachFaults(const reliability::FaultModel *faults,
+                 std::uint64_t salt)
+    {
+        faults_ = faults;
+        faultSalt_ = salt;
+    }
+
+    /**
+     * @return true when the most recently launched program reported
+     * a verify failure through the overlay-window status register.
+     * Valid until the next execute.
+     */
+    bool
+    lastProgramVerifyFailed() const
+    {
+        return lastProgramVerifyFailed_;
+    }
+
+    /** @return writes absorbed by word @p word_index (0 untracked). */
+    std::uint64_t
+    wordWear(std::uint64_t word_index) const
+    {
+        auto it = wordWear_.find(word_index);
+        return it == wordWear_.end() ? 0 : it->second;
+    }
+
+    /** @return the highest per-word wear seen on this module. */
+    std::uint64_t maxWordWear() const { return maxWordWear_; }
+
+    /** @} */
+
     /** @return classification a program of @p len bytes at word
      *  @p word_index would receive, given @p all_zero data. */
     ProgramKind classifyProgram(std::uint64_t word_index,
@@ -263,6 +307,14 @@ class PramModule : public Clocked
     std::unique_ptr<SparseMemory> store_;
     ModuleStats stats_;
     EventFunctionWrapper completionEvent_;
+
+    /** Optional fault model (not owned); null == injection off. */
+    const reliability::FaultModel *faults_ = nullptr;
+    std::uint64_t faultSalt_ = 0;
+    bool lastProgramVerifyFailed_ = false;
+    /** Per-word write counts, tracked only when faults_ is set. */
+    std::unordered_map<std::uint64_t, std::uint64_t> wordWear_;
+    std::uint64_t maxWordWear_ = 0;
 };
 
 /** @return the smallest legal burst covering @p len bytes on a x16

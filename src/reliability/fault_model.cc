@@ -1,0 +1,26 @@
+#include "reliability/fault_model.hh"
+
+#include <sstream>
+
+namespace dramless
+{
+namespace reliability
+{
+
+std::string
+ReliabilityConfig::describe() const
+{
+    if (!enabled)
+        return "reliability off";
+    std::ostringstream os;
+    os << "seed=" << seed << " pFail=" << writeFailProb
+       << " endurance=" << enduranceWrites
+       << " pWorn=" << wornWriteFailProb
+       << " retries=" << maxProgramRetries << " spares=" << spareLines
+       << " jitter=" << programJitter
+       << " pFwTimeout=" << firmwareTimeoutProb;
+    return os.str();
+}
+
+} // namespace reliability
+} // namespace dramless

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Deterministic fault-injection and endurance model for the PRAM
+ * subsystem (paper §VII: lifetime is viable only with wear leveling
+ * plus device-side write verification — this layer lets us stress
+ * that claim instead of simulating only the happy path).
+ *
+ * Design rules:
+ *
+ *  - Every decision is a pure function of (seed, salt, line, wear):
+ *    the coordinates are hashed into a one-shot SplitMix64 stream, so
+ *    outcomes do not depend on event interleaving or on how many
+ *    other random decisions were made before. Two runs with the same
+ *    seed are bit-identical; parallel sweep workers cannot perturb
+ *    each other.
+ *
+ *  - With `enabled == false` (the default) no component consults the
+ *    model and no wear is tracked, so existing golden figures stay
+ *    bit-identical.
+ *
+ * The knobs map onto the hardware mechanisms of LPDDR2-NVM parts:
+ * program-and-verify (the device reports a verify failure through the
+ * overlay-window status register and the controller re-pulses),
+ * endurance budgets (cells degrade after ~1e6-1e8 SET/RESET cycles),
+ * and cell-to-cell program-latency variation.
+ */
+
+#ifndef DRAMLESS_RELIABILITY_FAULT_MODEL_HH
+#define DRAMLESS_RELIABILITY_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/random.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace reliability
+{
+
+/** Hash two 64-bit decision coordinates into one (SplitMix64 mix). */
+constexpr std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * All reliability knobs, grouped by the component that consumes them.
+ * Default-constructed == injection fully disabled.
+ */
+struct ReliabilityConfig
+{
+    /** Master switch; when false every other knob is ignored. */
+    bool enabled = false;
+
+    /** Seed for all fault decisions (independent of other RNG use). */
+    std::uint64_t seed = 1;
+
+    // --- PRAM media (pram::PramModule) ---
+
+    /** Per-program-word verify-failure probability on healthy cells. */
+    double writeFailProb = 0.0;
+
+    /**
+     * Writes a line endures before its failure probability escalates
+     * to wornWriteFailProb. 0 means unlimited endurance.
+     */
+    std::uint64_t enduranceWrites = 0;
+
+    /** Verify-failure probability once a line is past its budget. */
+    double wornWriteFailProb = 0.5;
+
+    /**
+     * Cell-to-cell program-latency variation: each program word's
+     * latency is scaled by a factor uniform in [1, 1 + jitter].
+     */
+    double programJitter = 0.0;
+
+    // --- Channel controller (ctrl::ChannelController) ---
+
+    /** Program-and-verify re-pulses after the initial attempt. */
+    std::uint32_t maxProgramRetries = 3;
+
+    /** Status-poll cost charged before each re-pulse. */
+    Tick verifyCost = fromNs(200);
+
+    // --- Subsystem (ctrl::PramSubsystem) ---
+
+    /**
+     * Spare stripes reserved (off the top of physical capacity) for
+     * remapping lines whose writes exhaust all retries. Exhausting
+     * the pool itself is fatal.
+     */
+    std::uint32_t spareLines = 8;
+
+    // --- Firmware (flash::FirmwareModel) ---
+
+    /** Per-request firmware timeout probability. */
+    double firmwareTimeoutProb = 0.0;
+
+    /** Watchdog delay charged per timed-out firmware attempt. */
+    Tick firmwareTimeout = fromUs(20);
+
+    /** Firmware re-issues after a timeout before giving up. */
+    std::uint32_t firmwareRetries = 2;
+
+    /** One-line human-readable summary for logs and bench labels. */
+    std::string describe() const;
+};
+
+/**
+ * Stateless decision oracle over a ReliabilityConfig. Components
+ * keep their own wear counters and pass them in; the model only
+ * turns (salt, line, wear) coordinates into outcomes.
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const ReliabilityConfig &cfg) : cfg_(cfg) {}
+
+    const ReliabilityConfig &config() const { return cfg_; }
+
+    /**
+     * Does the @p wear 'th program of @p line (scoped by @p salt,
+     * typically a module id) fail device-side verification?
+     */
+    bool
+    programFails(std::uint64_t salt, std::uint64_t line,
+                 std::uint64_t wear) const
+    {
+        const bool worn =
+            cfg_.enduranceWrites && wear > cfg_.enduranceWrites;
+        const double p =
+            worn ? cfg_.wornWriteFailProb : cfg_.writeFailProb;
+        if (p <= 0.0)
+            return false;
+        Random r(mix(mix(cfg_.seed, salt), mix(line, wear)));
+        return r.chance(p);
+    }
+
+    /** @return @p nominal scaled by this cell's latency variation. */
+    Tick
+    programLatency(std::uint64_t salt, std::uint64_t line,
+                   std::uint64_t wear, Tick nominal) const
+    {
+        if (cfg_.programJitter <= 0.0)
+            return nominal;
+        // Different key-space than programFails so the two decisions
+        // are independent.
+        Random r(mix(mix(cfg_.seed ^ 0xa55a5aa55aa5a55aull, salt),
+                     mix(line, wear)));
+        const double f = 1.0 + cfg_.programJitter * r.uniform();
+        return Tick(double(nominal) * f + 0.5);
+    }
+
+    /** Does firmware attempt @p attempt of request @p req time out? */
+    bool
+    firmwareTimesOut(std::uint64_t salt, std::uint64_t req,
+                     std::uint32_t attempt) const
+    {
+        if (cfg_.firmwareTimeoutProb <= 0.0)
+            return false;
+        Random r(mix(mix(cfg_.seed ^ 0x5aa5a55aa55a5aa5ull, salt),
+                     mix(req, attempt)));
+        return r.chance(cfg_.firmwareTimeoutProb);
+    }
+
+  private:
+    ReliabilityConfig cfg_;
+};
+
+} // namespace reliability
+} // namespace dramless
+
+#endif // DRAMLESS_RELIABILITY_FAULT_MODEL_HH

@@ -65,6 +65,19 @@ writeRun(json::JsonWriter &w, const systems::RunResult &r,
     w.keyValue("total_instructions", r.totalInstructions);
     w.keyValue("bytes_processed", r.bytesProcessed);
 
+    w.key("reliability").beginObject();
+    w.keyValue("verify_retries", r.reliability.verifyRetries);
+    w.keyValue("failed_writes", r.reliability.failedWrites);
+    w.keyValue("bad_line_remaps", r.reliability.badLineRemaps);
+    w.keyValue("spare_lines_used", r.reliability.spareLinesUsed);
+    w.keyValue("gap_move_writes", r.reliability.gapMoveWrites);
+    w.keyValue("firmware_timeouts", r.reliability.firmwareTimeouts);
+    w.keyValue("firmware_give_ups", r.reliability.firmwareGiveUps);
+    w.keyValue("max_line_wear", r.reliability.maxLineWear);
+    w.keyValue("writes_before_first_remap",
+               r.reliability.writesBeforeFirstRemap);
+    w.endObject();
+
     w.key("energy_j").beginObject();
     w.keyValue("host_stack", r.energy.hostStack);
     w.keyValue("pcie", r.energy.pcie);
@@ -121,7 +134,10 @@ ResultSink::writeCsv(std::ostream &os) const
           "bandwidth_mbps,total_instructions,bytes_processed,"
           "energy_host_stack_j,energy_pcie_j,energy_accel_cores_j,"
           "energy_dram_j,energy_storage_media_j,energy_controller_j,"
-          "energy_total_j,ipc_mean,core_power_mean_w\n";
+          "energy_total_j,ipc_mean,core_power_mean_w,"
+          "verify_retries,failed_writes,bad_line_remaps,"
+          "gap_move_writes,firmware_timeouts,max_line_wear,"
+          "writes_before_first_remap\n";
     for (const auto &r : runs_) {
         os << json::csvField(r.system) << ','
            << json::csvField(r.workload) << ',' << r.execTime << ','
@@ -137,7 +153,14 @@ ResultSink::writeCsv(std::ostream &os) const
            << json::number(r.energy.controller) << ','
            << json::number(r.energy.total()) << ','
            << json::number(r.ipc.mean()) << ','
-           << json::number(r.corePower.timeWeightedMean()) << '\n';
+           << json::number(r.corePower.timeWeightedMean()) << ','
+           << r.reliability.verifyRetries << ','
+           << r.reliability.failedWrites << ','
+           << r.reliability.badLineRemaps << ','
+           << r.reliability.gapMoveWrites << ','
+           << r.reliability.firmwareTimeouts << ','
+           << r.reliability.maxLineWear << ','
+           << r.reliability.writesBeforeFirstRemap << '\n';
     }
 }
 

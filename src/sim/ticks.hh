@@ -58,6 +58,27 @@ constexpr double toMs(Tick t) { return double(t) / double(tickPerMs); }
 /** Convert ticks to (fractional) seconds. */
 constexpr double toSec(Tick t) { return double(t) / double(tickPerSec); }
 
+/**
+ * Serialization delay of @p bytes over a link sustaining
+ * @p bytes_per_sec, rounded up to whole ticks.
+ *
+ * The obvious `Tick(double(bytes) / bytes_per_sec * 1e12)` truncates
+ * toward zero — a small transfer on a fast link costs 0 extra ticks
+ * and a large one silently loses up to a tick — so compute in 128-bit
+ * integer math instead and round up: any nonzero transfer costs at
+ * least one tick. @pre bytes_per_sec >= 1.
+ */
+constexpr Tick
+serializationTicks(std::uint64_t bytes, double bytes_per_sec)
+{
+    if (bytes == 0)
+        return 0;
+    const auto bps = std::uint64_t(bytes_per_sec + 0.5);
+    const unsigned __int128 num =
+        (unsigned __int128)(bytes)*tickPerSec + bps - 1;
+    return Tick(num / bps);
+}
+
 /** Period in ticks of a clock running at @p mhz megahertz. */
 constexpr Tick periodFromMhz(double mhz)
 {

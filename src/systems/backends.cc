@@ -153,11 +153,10 @@ DramBackend::submit(std::uint64_t addr, std::uint32_t size,
     (void)is_write;
     std::uint64_t id = nextId_++;
     Tick start = std::max(eventq_.curTick(), busyUntil_);
-    Tick done = start + config_.accessLatency +
-                Tick(double(size) / config_.bytesPerSec * 1e12);
+    Tick xfer = serializationTicks(size, config_.bytesPerSec);
+    Tick done = start + config_.accessLatency + xfer;
     // The shared DRAM bus serializes the data transfer portion.
-    busyUntil_ =
-        start + Tick(double(size) / config_.bytesPerSec * 1e12);
+    busyUntil_ = start + xfer;
     bytesMoved_ += size;
     pending_[done].push_back(id);
     eventq_.reschedule(&fireEvent_, pending_.begin()->first);

@@ -126,15 +126,25 @@ IntegratedSystem::doRun(const workload::WorkloadSpec &spec)
         if (opts_.geometryOverride)
             cfg.geometry = *opts_.geometryOverride;
         cfg.functional = opts_.functional;
+        cfg.wearLeveling = opts_.wearLeveling;
+        cfg.gapMovePeriod = opts_.gapMovePeriod;
+        cfg.reliability = opts_.reliability;
         pram = std::make_unique<ctrl::PramSubsystem>(eq_, cfg,
                                                      "pram");
         storage_ready = pram->initialize();
         base_backend = std::make_unique<PramBackend>(*pram);
         backend = base_backend.get();
         if (kind_ == IntegratedKind::dramLessFirmware) {
+            flash::FirmwareConfig fwc =
+                flash::FirmwareConfig::traditionalSsd();
+            if (opts_.reliability.enabled) {
+                fwc.timeoutProb = opts_.reliability.firmwareTimeoutProb;
+                fwc.timeoutPenalty = opts_.reliability.firmwareTimeout;
+                fwc.timeoutRetries = opts_.reliability.firmwareRetries;
+                fwc.faultSeed = opts_.reliability.seed;
+            }
             fw_backend = std::make_unique<FirmwareFrontedBackend>(
-                eq_, *base_backend,
-                flash::FirmwareConfig::traditionalSsd(), "fwctl");
+                eq_, *base_backend, fwc, "fwctl");
             backend = fw_backend.get();
         }
     } else if (kind_ == IntegratedKind::norIntf) {
@@ -189,6 +199,15 @@ IntegratedSystem::doRun(const workload::WorkloadSpec &spec)
             std::uint64_t(4) * scfg.buffer.pageBytes,
             spec.totalBytes() / 8 / scfg.buffer.pageBytes *
                 scfg.buffer.pageBytes);
+        if (opts_.reliability.enabled) {
+            scfg.firmware.timeoutProb =
+                opts_.reliability.firmwareTimeoutProb;
+            scfg.firmware.timeoutPenalty =
+                opts_.reliability.firmwareTimeout;
+            scfg.firmware.timeoutRetries =
+                opts_.reliability.firmwareRetries;
+            scfg.firmware.faultSeed = opts_.reliability.seed;
+        }
         ssd = std::make_unique<flash::Ssd>(eq_, scfg, "essd");
         // Inputs are staged in the persistent store before the run,
         // as in the paper's methodology.
@@ -278,6 +297,34 @@ IntegratedSystem::doRun(const workload::WorkloadSpec &spec)
         res.execTime > accounted ? res.execTime - accounted : 0;
     res.totalInstructions = accel.metrics().totalInstructions;
     res.ipc = accel.ipcSeries();
+
+    // ------------------------- reliability --------------------------
+    if (pram) {
+        const auto &sub = pram->subsystemStats();
+        res.reliability.badLineRemaps = sub.badLineRemaps;
+        res.reliability.spareLinesUsed = sub.spareLinesUsed;
+        res.reliability.gapMoveWrites = sub.gapMoveWrites;
+        res.reliability.writesBeforeFirstRemap =
+            sub.writesBeforeFirstRemap;
+        for (std::uint32_t c = 0; c < pram->numChannels(); ++c) {
+            const auto &cs = pram->channel(c).ctrlStats();
+            res.reliability.verifyRetries += cs.verifyRetries;
+            res.reliability.failedWrites += cs.verifyFailedWrites;
+        }
+        res.reliability.maxLineWear = pram->maxLineWear();
+    }
+    if (fw_backend) {
+        res.reliability.firmwareTimeouts =
+            fw_backend->firmware().numTimeouts();
+        res.reliability.firmwareGiveUps =
+            fw_backend->firmware().numTimeoutGiveUps();
+    }
+    if (ssd) {
+        res.reliability.firmwareTimeouts +=
+            ssd->firmware().numTimeouts();
+        res.reliability.firmwareGiveUps +=
+            ssd->firmware().numTimeoutGiveUps();
+    }
 
     // ---------------------------- energy ---------------------------
     energy::EnergyBreakdown e;

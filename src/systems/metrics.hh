@@ -20,6 +20,30 @@ namespace dramless
 namespace systems
 {
 
+/** Reliability-layer outcome of one run (all zero with fault
+ *  injection disabled). */
+struct ReliabilityOutcome
+{
+    /** Program-and-verify re-pulses across all channels. */
+    std::uint64_t verifyRetries = 0;
+    /** Write sub-ops that exhausted every verify retry. */
+    std::uint64_t failedWrites = 0;
+    /** Worn-out lines remapped into the spare pool. */
+    std::uint64_t badLineRemaps = 0;
+    /** Spare lines consumed. */
+    std::uint64_t spareLinesUsed = 0;
+    /** PRAM writes performed by Start-Gap gap-move copies. */
+    std::uint64_t gapMoveWrites = 0;
+    /** Firmware attempts that hit the watchdog. */
+    std::uint64_t firmwareTimeouts = 0;
+    /** Requests whose firmware retries were all exhausted. */
+    std::uint64_t firmwareGiveUps = 0;
+    /** Highest per-word write wear observed. */
+    std::uint64_t maxLineWear = 0;
+    /** Demand writes served before the first remap (0 = none). */
+    std::uint64_t writesBeforeFirstRemap = 0;
+};
+
 /** One run's metrics. */
 struct RunResult
 {
@@ -55,6 +79,9 @@ struct RunResult
 
     std::uint64_t totalInstructions = 0;
     std::uint64_t bytesProcessed = 0;
+
+    /** Fault-injection outcome (zeros when disabled). */
+    ReliabilityOutcome reliability;
 
     /** @return this run's bandwidth normalized to @p baseline. */
     double

@@ -13,6 +13,7 @@
 #include "accel/accelerator.hh"
 #include "ctrl/scheduler.hh"
 #include "pram/geometry.hh"
+#include "reliability/fault_model.hh"
 #include "energy/energy_model.hh"
 #include "sim/event_queue.hh"
 #include "sim/trace.hh"
@@ -53,6 +54,12 @@ struct SystemOptions
     std::optional<pram::PramGeometry> geometryOverride;
     /** Keep functional backing stores (slower, data-checked). */
     bool functional = false;
+    /** Enable Start-Gap wear leveling in PRAM subsystems. */
+    bool wearLeveling = false;
+    /** Gap move period in writes when wear leveling. */
+    std::uint64_t gapMovePeriod = 100;
+    /** Fault injection / endurance knobs (default: disabled). */
+    reliability::ReliabilityConfig reliability{};
 };
 
 /**

@@ -159,6 +159,53 @@ TEST_P(SchedulerParamTest, HintsNeverCorruptData)
     }
 }
 
+TEST(SchedulerPresetTest, PresetsPinEveryFieldAndLabelsRoundTrip)
+{
+    // The presets use designated initializers so a new or reordered
+    // field cannot silently mis-bind again; this pins the full field
+    // set of each Figure 13 bar and the label() mapping.
+    const SchedulerConfig bare = SchedulerConfig::bareMetal();
+    EXPECT_FALSE(bare.interleaving);
+    EXPECT_FALSE(bare.selectiveErasing);
+    EXPECT_TRUE(bare.phaseSkipping);
+    EXPECT_EQ(bare.maxQueuePerModule, 64u);
+    EXPECT_FALSE(bare.rdbPrefetch);
+    EXPECT_EQ(bare.label(), "Bare-metal");
+
+    const SchedulerConfig inter = SchedulerConfig::interleavingOnly();
+    EXPECT_TRUE(inter.interleaving);
+    EXPECT_FALSE(inter.selectiveErasing);
+    EXPECT_TRUE(inter.phaseSkipping);
+    EXPECT_EQ(inter.maxQueuePerModule, 64u);
+    EXPECT_FALSE(inter.rdbPrefetch);
+    EXPECT_EQ(inter.label(), "Interleaving");
+
+    const SchedulerConfig se = SchedulerConfig::selectiveErasingOnly();
+    EXPECT_FALSE(se.interleaving);
+    EXPECT_TRUE(se.selectiveErasing);
+    EXPECT_TRUE(se.phaseSkipping);
+    EXPECT_EQ(se.maxQueuePerModule, 64u);
+    EXPECT_FALSE(se.rdbPrefetch);
+    EXPECT_EQ(se.label(), "selective-erasing");
+
+    const SchedulerConfig fin = SchedulerConfig::finalConfig();
+    EXPECT_TRUE(fin.interleaving);
+    EXPECT_TRUE(fin.selectiveErasing);
+    EXPECT_TRUE(fin.phaseSkipping);
+    EXPECT_EQ(fin.maxQueuePerModule, 64u);
+    EXPECT_FALSE(fin.rdbPrefetch);
+    EXPECT_EQ(fin.label(), "Final");
+
+    // Defaults equal the shipped Final configuration.
+    const SchedulerConfig dflt{};
+    EXPECT_EQ(dflt.label(), "Final");
+    EXPECT_EQ(dflt.interleaving, fin.interleaving);
+    EXPECT_EQ(dflt.selectiveErasing, fin.selectiveErasing);
+    EXPECT_EQ(dflt.phaseSkipping, fin.phaseSkipping);
+    EXPECT_EQ(dflt.maxQueuePerModule, fin.maxQueuePerModule);
+    EXPECT_EQ(dflt.rdbPrefetch, fin.rdbPrefetch);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSchedulers, SchedulerParamTest,
     ::testing::Values(SchedulerConfig::bareMetal(),

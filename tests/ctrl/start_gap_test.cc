@@ -53,6 +53,21 @@ TEST(StartGapTest, GapMovePeriodRespected)
     EXPECT_EQ(sg.writeCount(), 50u);
 }
 
+TEST(StartGapTest, GapMoveWritesCountedButNeverFeedThePeriod)
+{
+    // Gap-move copies wear the media like demand writes, but they
+    // must not advance the gap-move counter themselves — otherwise
+    // the rotation would self-accelerate. 120 demand writes at
+    // period 3 is exactly 40 moves, no more.
+    StartGapMapper sg(8, 3);
+    for (int i = 0; i < 120; ++i)
+        sg.recordWrite();
+    EXPECT_EQ(sg.writeCount(), 120u);
+    EXPECT_EQ(sg.gapMoves(), 40u);
+    EXPECT_EQ(sg.gapMoveWrites(), 40u);
+    EXPECT_EQ(sg.totalLineWrites(), 160u);
+}
+
 TEST(StartGapTest, DataSurvivesRotationProperty)
 {
     // Shadow-model: physical lines hold values; on each gap move we

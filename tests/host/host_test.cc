@@ -69,8 +69,10 @@ TEST(PcieTest, TransferTimeIsLatencyPlusBandwidth)
     PcieConfig cfg;
     PcieLink link(eq, cfg, "pcie");
     Tick done = link.transfer(1 << 20);
+    // Serialization rounds up to whole ticks (see serializationTicks)
+    // instead of truncating through a double.
     Tick expect = cfg.perTransferLatency +
-                  Tick(double(1 << 20) / cfg.bytesPerSec * 1e12);
+                  serializationTicks(1 << 20, cfg.bytesPerSec);
     EXPECT_EQ(done, expect);
     EXPECT_EQ(link.pcieStats().transfers, 1u);
     EXPECT_EQ(link.pcieStats().bytes, 1u << 20);

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests of the deterministic fault model: decisions must be
+ * pure functions of (seed, salt, line, wear), probability knobs must
+ * bound behavior at 0 and 1, and the endurance budget must switch
+ * failure rates exactly past the configured write count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/fault_model.hh"
+
+namespace dramless
+{
+namespace reliability
+{
+namespace
+{
+
+ReliabilityConfig
+baseConfig()
+{
+    ReliabilityConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 42;
+    return cfg;
+}
+
+TEST(FaultModelTest, DecisionsArePureFunctionsOfCoordinates)
+{
+    ReliabilityConfig cfg = baseConfig();
+    cfg.writeFailProb = 0.5;
+    cfg.programJitter = 0.3;
+    cfg.firmwareTimeoutProb = 0.5;
+    FaultModel a(cfg), b(cfg);
+    for (std::uint64_t line = 0; line < 64; ++line) {
+        for (std::uint64_t wear = 1; wear <= 8; ++wear) {
+            EXPECT_EQ(a.programFails(3, line, wear),
+                      b.programFails(3, line, wear));
+            EXPECT_EQ(a.programLatency(3, line, wear, fromUs(10)),
+                      b.programLatency(3, line, wear, fromUs(10)));
+            EXPECT_EQ(a.firmwareTimesOut(3, line, 0),
+                      b.firmwareTimesOut(3, line, 0));
+        }
+    }
+    // Querying in a different order must not change any outcome
+    // (order independence is what makes parallel sweeps safe).
+    for (std::uint64_t line = 64; line-- > 0;)
+        EXPECT_EQ(a.programFails(3, line, 1),
+                  b.programFails(3, line, 1));
+}
+
+TEST(FaultModelTest, SeedAndSaltSeparateDecisionStreams)
+{
+    ReliabilityConfig cfg = baseConfig();
+    cfg.writeFailProb = 0.5;
+    ReliabilityConfig other = cfg;
+    other.seed = 43;
+    FaultModel a(cfg), b(other);
+    int differing = 0;
+    for (std::uint64_t line = 0; line < 256; ++line)
+        differing += a.programFails(0, line, 1) !=
+                             b.programFails(0, line, 1)
+                         ? 1
+                         : 0;
+    EXPECT_GT(differing, 0) << "seed must matter";
+
+    differing = 0;
+    for (std::uint64_t line = 0; line < 256; ++line)
+        differing += a.programFails(0, line, 1) !=
+                             a.programFails(1, line, 1)
+                         ? 1
+                         : 0;
+    EXPECT_GT(differing, 0) << "salt must matter";
+}
+
+TEST(FaultModelTest, ProbabilityZeroNeverFailsProbabilityOneAlways)
+{
+    ReliabilityConfig cfg = baseConfig();
+    FaultModel never(cfg);
+    cfg.writeFailProb = 1.0;
+    FaultModel always(cfg);
+    for (std::uint64_t line = 0; line < 128; ++line) {
+        EXPECT_FALSE(never.programFails(0, line, 1));
+        EXPECT_TRUE(always.programFails(0, line, 1));
+    }
+}
+
+TEST(FaultModelTest, EnduranceBudgetEscalatesExactlyPastTheLimit)
+{
+    ReliabilityConfig cfg = baseConfig();
+    cfg.writeFailProb = 0.0;
+    cfg.enduranceWrites = 10;
+    cfg.wornWriteFailProb = 1.0;
+    FaultModel m(cfg);
+    for (std::uint64_t wear = 1; wear <= 10; ++wear)
+        EXPECT_FALSE(m.programFails(0, 5, wear)) << "wear " << wear;
+    for (std::uint64_t wear = 11; wear <= 20; ++wear)
+        EXPECT_TRUE(m.programFails(0, 5, wear)) << "wear " << wear;
+}
+
+TEST(FaultModelTest, ZeroEnduranceMeansUnlimited)
+{
+    ReliabilityConfig cfg = baseConfig();
+    cfg.enduranceWrites = 0;
+    cfg.wornWriteFailProb = 1.0;
+    FaultModel m(cfg);
+    EXPECT_FALSE(m.programFails(0, 0, 1u << 30));
+}
+
+TEST(FaultModelTest, JitterScalesLatencyWithinTheConfiguredBand)
+{
+    ReliabilityConfig cfg = baseConfig();
+    FaultModel plain(cfg);
+    EXPECT_EQ(plain.programLatency(0, 0, 1, fromUs(18)), fromUs(18));
+
+    cfg.programJitter = 0.25;
+    FaultModel jittery(cfg);
+    const Tick nominal = fromUs(18);
+    bool any_stretch = false;
+    for (std::uint64_t line = 0; line < 64; ++line) {
+        Tick t = jittery.programLatency(0, line, 1, nominal);
+        EXPECT_GE(t, nominal);
+        EXPECT_LE(t, Tick(double(nominal) * 1.25) + 1);
+        any_stretch |= t > nominal;
+    }
+    EXPECT_TRUE(any_stretch);
+}
+
+TEST(FaultModelTest, DescribeMentionsTheActiveKnobs)
+{
+    ReliabilityConfig cfg = baseConfig();
+    cfg.writeFailProb = 0.01;
+    std::string s = cfg.describe();
+    EXPECT_NE(s.find("0.01"), std::string::npos) << s;
+}
+
+} // namespace
+} // namespace reliability
+} // namespace dramless

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regression tests of the firmware watchdog-timeout + retry path:
+ * deterministic timeout draws, bounded retries with graceful
+ * give-up, and zero overhead when the knob is off.
+ */
+
+#include <gtest/gtest.h>
+
+#include "flash/firmware.hh"
+
+namespace dramless
+{
+namespace flash
+{
+namespace
+{
+
+TEST(FirmwareTimeoutTest, DisabledKnobAddsNothing)
+{
+    FirmwareConfig cfg = FirmwareConfig::traditionalSsd();
+    FirmwareModel fw(cfg, "fw");
+    EXPECT_EQ(fw.service(0), cfg.perRequestLatency);
+    EXPECT_EQ(fw.numTimeouts(), 0u);
+    EXPECT_EQ(fw.numTimeoutGiveUps(), 0u);
+}
+
+TEST(FirmwareTimeoutTest, CertainTimeoutExhaustsRetriesAndGivesUp)
+{
+    FirmwareConfig cfg = FirmwareConfig::traditionalSsd();
+    cfg.timeoutProb = 1.0;
+    cfg.timeoutPenalty = fromUs(20);
+    cfg.timeoutRetries = 2;
+    FirmwareModel fw(cfg, "fw");
+    // Initial attempt + 2 re-issues, each hanging until the
+    // watchdog; the request still completes (graceful, never a
+    // stall forever).
+    Tick done = fw.service(0);
+    EXPECT_EQ(done,
+              3 * cfg.perRequestLatency + 3 * cfg.timeoutPenalty);
+    EXPECT_EQ(fw.numTimeouts(), 3u);
+    EXPECT_EQ(fw.numTimeoutGiveUps(), 1u);
+    EXPECT_EQ(fw.numRequests(), 1u);
+}
+
+TEST(FirmwareTimeoutTest, TimeoutDrawsAreSeedDeterministic)
+{
+    FirmwareConfig cfg = FirmwareConfig::traditionalSsd();
+    cfg.timeoutProb = 0.3;
+    cfg.faultSeed = 11;
+    FirmwareModel a(cfg, "a"), b(cfg, "b");
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(a.service(0), b.service(0)) << "request " << i;
+    EXPECT_EQ(a.numTimeouts(), b.numTimeouts());
+    EXPECT_EQ(a.numTimeoutGiveUps(), b.numTimeoutGiveUps());
+    EXPECT_GT(a.numTimeouts(), 0u);
+
+    cfg.faultSeed = 12;
+    FirmwareModel c(cfg, "c");
+    for (int i = 0; i < 200; ++i)
+        c.service(0);
+    EXPECT_GT(c.numTimeouts(), 0u);
+}
+
+TEST(FirmwareTimeoutTest, TimeoutsInflateBusyTimeAccounting)
+{
+    FirmwareConfig cfg = FirmwareConfig::traditionalSsd();
+    cfg.timeoutProb = 1.0;
+    cfg.timeoutRetries = 0;
+    FirmwareModel fw(cfg, "fw");
+    Tick done = fw.service(0);
+    EXPECT_EQ(done, cfg.perRequestLatency + cfg.timeoutPenalty);
+    EXPECT_EQ(fw.busyTicks(), done);
+    EXPECT_EQ(fw.numTimeoutGiveUps(), 1u);
+}
+
+TEST(FirmwareTimeoutTest, OraclePathBypassesTimeouts)
+{
+    FirmwareConfig cfg = FirmwareConfig::oracle();
+    cfg.timeoutProb = 1.0;
+    FirmwareModel fw(cfg, "fw");
+    EXPECT_EQ(fw.service(fromUs(5)), fromUs(5));
+    EXPECT_EQ(fw.numTimeouts(), 0u);
+}
+
+} // namespace
+} // namespace flash
+} // namespace dramless

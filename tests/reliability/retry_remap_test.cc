@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Behavioral tests of the program-and-verify retry path in the
+ * channel controller and the bad-line remapping / graceful
+ * degradation path in the PRAM subsystem, including the fatal
+ * spare-pool-exhaustion endpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "ctrl/channel_controller.hh"
+#include "ctrl/pram_subsystem.hh"
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace ctrl
+{
+namespace
+{
+
+reliability::ReliabilityConfig
+injection(double p_fail, std::uint32_t retries,
+          std::uint32_t spares = 8)
+{
+    reliability::ReliabilityConfig cfg;
+    cfg.enabled = true;
+    cfg.seed = 7;
+    cfg.writeFailProb = p_fail;
+    cfg.maxProgramRetries = retries;
+    cfg.spareLines = spares;
+    return cfg;
+}
+
+class RetryTest : public ::testing::Test
+{
+  protected:
+    std::unique_ptr<ChannelController>
+    make(const reliability::ReliabilityConfig &rel,
+         std::uint32_t modules = 1)
+    {
+        auto ctl = std::make_unique<ChannelController>(
+            eq, modules, pram::PramGeometry::paperDefault(),
+            pram::PramTiming::paperDefault(),
+            SchedulerConfig::finalConfig(), "ch0");
+        ctl->configureReliability(rel, 0);
+        ctl->setCallback([this](const MemResponse &resp) {
+            done[resp.id] = resp;
+        });
+        return ctl;
+    }
+
+    EventQueue eq;
+    std::map<std::uint64_t, MemResponse> done;
+};
+
+TEST_F(RetryTest, AlwaysFailingWriteExhaustsExactlyMaxRetries)
+{
+    auto ctl = make(injection(1.0, 2));
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    eq.run();
+    ASSERT_TRUE(done.count(id));
+    EXPECT_TRUE(done[id].failed);
+    EXPECT_EQ(ctl->ctrlStats().verifyRetries, 2u);
+    EXPECT_EQ(ctl->ctrlStats().verifyFailedWrites, 1u);
+    // Each re-pulse wears the cell again: initial + 2 retries.
+    EXPECT_EQ(ctl->module(0).moduleStats().numVerifyFailures, 3u);
+    EXPECT_EQ(ctl->module(0).maxWordWear(), 3u);
+}
+
+TEST_F(RetryTest, RetriesCostProgramTimePlusVerifyPoll)
+{
+    reliability::ReliabilityConfig rel = injection(1.0, 2);
+    auto ctl = make(rel);
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    eq.run();
+    ASSERT_TRUE(done.count(id));
+    // A clean overwrite is ~18 us; three pulses plus two status
+    // polls must take at least 3x the program plus the polls.
+    EXPECT_GE(done[id].completedAt,
+              3 * fromUs(18) + 2 * rel.verifyCost);
+}
+
+TEST_F(RetryTest, CleanMediaNeverRetriesAndMatchesBaseline)
+{
+    // p=0 with injection enabled must behave like injection off.
+    auto ctl = make(injection(0.0, 3));
+    MemRequest req;
+    req.kind = ReqKind::write;
+    req.addr = 0;
+    req.size = 32;
+    std::uint64_t id = ctl->enqueue(req);
+    eq.run();
+    ASSERT_TRUE(done.count(id));
+    EXPECT_FALSE(done[id].failed);
+    EXPECT_EQ(ctl->ctrlStats().verifyRetries, 0u);
+    EXPECT_GE(done[id].completedAt, fromUs(18));
+    EXPECT_LE(done[id].completedAt, fromUs(19));
+}
+
+TEST_F(RetryTest, FlakyMediaRecoversWithDataIntact)
+{
+    // A 50% failure rate with generous retries: every write must
+    // still complete successfully (p_exhaust = 0.5^9) and the
+    // functional image must match what was written.
+    auto ctl = make(injection(0.5, 8), 2);
+    std::vector<std::vector<std::uint8_t>> bufs;
+    std::vector<std::uint8_t> shadow(16 * 32, 0);
+    for (int i = 0; i < 16; ++i) {
+        bufs.emplace_back(32);
+        for (auto &b : bufs.back())
+            b = std::uint8_t(i * 31 + 5);
+        std::memcpy(shadow.data() + i * 32, bufs.back().data(), 32);
+        MemRequest req;
+        req.kind = ReqKind::write;
+        req.addr = std::uint64_t(i) * 32;
+        req.size = 32;
+        req.writeFrom = bufs.back().data();
+        ctl->enqueue(req);
+    }
+    eq.run();
+    EXPECT_GT(ctl->ctrlStats().verifyRetries, 0u);
+    EXPECT_EQ(ctl->ctrlStats().verifyFailedWrites, 0u);
+    std::vector<std::uint8_t> out(shadow.size(), 0);
+    ctl->functionalRead(0, out.data(), out.size());
+    EXPECT_EQ(out, shadow);
+}
+
+class RemapTest : public ::testing::Test
+{
+  protected:
+    SubsystemConfig
+    config(const reliability::ReliabilityConfig &rel)
+    {
+        SubsystemConfig cfg;
+        cfg.channels = 2;
+        cfg.modulesPerChannel = 2;
+        cfg.stripeBytes = 128;
+        cfg.reliability = rel;
+        return cfg;
+    }
+
+    std::unique_ptr<PramSubsystem>
+    make(const SubsystemConfig &cfg)
+    {
+        auto sys = std::make_unique<PramSubsystem>(eq, cfg, "pram");
+        sys->setCallback([this](const MemResponse &resp) {
+            done[resp.id] = resp;
+        });
+        return sys;
+    }
+
+    /** One stripe-sized write of @p fill at stripe @p s. */
+    std::uint64_t
+    writeStripe(PramSubsystem &sys, std::uint64_t s,
+                std::uint8_t fill)
+    {
+        buf_.assign(128, fill);
+        MemRequest wr;
+        wr.kind = ReqKind::write;
+        wr.addr = s * 128;
+        wr.size = 128;
+        wr.writeFrom = buf_.data();
+        std::uint64_t id = sys.enqueue(wr);
+        eq.run();
+        return id;
+    }
+
+    EventQueue eq;
+    std::map<std::uint64_t, MemResponse> done;
+    std::vector<std::uint8_t> buf_;
+};
+
+TEST_F(RemapTest, WornLineIsRetiredIntoSparePoolWithDataIntact)
+{
+    // Endurance 4 and a certain worn-failure rate: the 5th write to
+    // the same stripe must exhaust its retries, retire the line into
+    // the spare pool, and complete on the spare — gracefully, with
+    // the latest data readable.
+    reliability::ReliabilityConfig rel = injection(0.0, 1, 8);
+    rel.enduranceWrites = 4;
+    rel.wornWriteFailProb = 1.0;
+    auto sys = make(config(rel));
+    sys->initialize();
+    std::uint32_t spares_before = sys->spareLinesFree();
+
+    for (int i = 0; i < 7; ++i)
+        writeStripe(*sys, 0, std::uint8_t(0x10 + i));
+
+    const auto &st = sys->subsystemStats();
+    EXPECT_GE(st.badLineRemaps, 1u);
+    EXPECT_EQ(st.spareLinesUsed, st.badLineRemaps);
+    EXPECT_LT(sys->spareLinesFree(), spares_before);
+    EXPECT_GT(st.writesBeforeFirstRemap, 0u);
+    EXPECT_GT(st.firstRemapTick, 0u);
+    EXPECT_EQ(done.size(), 7u);
+    for (const auto &[_, resp] : done)
+        EXPECT_FALSE(resp.failed) << "remap must hide the failure";
+
+    std::vector<std::uint8_t> out(128, 0);
+    sys->functionalRead(0, out.data(), out.size());
+    EXPECT_EQ(out, std::vector<std::uint8_t>(128, 0x16));
+}
+
+TEST_F(RemapTest, RemappedLineKeepsServingReadsAndWrites)
+{
+    reliability::ReliabilityConfig rel = injection(0.0, 1, 8);
+    rel.enduranceWrites = 2;
+    rel.wornWriteFailProb = 1.0;
+    auto sys = make(config(rel));
+    sys->initialize();
+
+    for (int i = 0; i < 4; ++i)
+        writeStripe(*sys, 1, std::uint8_t(0x40 + i));
+    ASSERT_GE(sys->subsystemStats().badLineRemaps, 1u);
+
+    // The logical stripe still round-trips through the spare.
+    std::vector<std::uint8_t> out(128, 0);
+    MemRequest rd;
+    rd.kind = ReqKind::read;
+    rd.addr = 128;
+    rd.size = 128;
+    rd.readInto = out.data();
+    sys->enqueue(rd);
+    eq.run();
+    EXPECT_EQ(out, std::vector<std::uint8_t>(128, 0x43));
+}
+
+TEST_F(RemapTest, SparePoolReservationShrinksCapacity)
+{
+    SubsystemConfig plain;
+    plain.channels = 2;
+    plain.modulesPerChannel = 2;
+    plain.stripeBytes = 128;
+    EventQueue eq2;
+    PramSubsystem a(eq2, plain, "plain");
+
+    SubsystemConfig rel_cfg = plain;
+    rel_cfg.reliability = injection(0.0, 1, 4);
+    EventQueue eq3;
+    PramSubsystem b(eq3, rel_cfg, "spared");
+    EXPECT_EQ(b.capacity(), a.capacity() - 4 * 128);
+    EXPECT_EQ(b.spareLinesFree(), 4u);
+}
+
+TEST_F(RemapTest, DisabledInjectionReservesNoSpares)
+{
+    auto sys = make(config(reliability::ReliabilityConfig{}));
+    EXPECT_EQ(sys->spareLinesFree(), 0u);
+    EXPECT_EQ(sys->maxLineWear(), 0u);
+}
+
+using RemapDeathTest = RemapTest;
+
+TEST_F(RemapDeathTest, SpareExhaustionIsFatal)
+{
+    // Every write always fails: the line is retired, the spare fails
+    // too, and the chain burns through the whole pool.
+    reliability::ReliabilityConfig rel = injection(1.0, 0, 2);
+    auto sys = make(config(rel));
+    sys->initialize();
+    EXPECT_DEATH(
+        {
+            setQuiet(true);
+            for (int i = 0; i < 4; ++i)
+                writeStripe(*sys, 0, 0xAB);
+        },
+        "spare pool exhausted");
+}
+
+} // namespace
+} // namespace ctrl
+} // namespace dramless

@@ -86,6 +86,19 @@ expectResultIdentical(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.energy.dram, b.energy.dram);
     EXPECT_EQ(a.energy.storageMedia, b.energy.storageMedia);
     EXPECT_EQ(a.energy.controller, b.energy.controller);
+    EXPECT_EQ(a.reliability.verifyRetries, b.reliability.verifyRetries);
+    EXPECT_EQ(a.reliability.failedWrites, b.reliability.failedWrites);
+    EXPECT_EQ(a.reliability.badLineRemaps, b.reliability.badLineRemaps);
+    EXPECT_EQ(a.reliability.spareLinesUsed,
+              b.reliability.spareLinesUsed);
+    EXPECT_EQ(a.reliability.gapMoveWrites, b.reliability.gapMoveWrites);
+    EXPECT_EQ(a.reliability.firmwareTimeouts,
+              b.reliability.firmwareTimeouts);
+    EXPECT_EQ(a.reliability.firmwareGiveUps,
+              b.reliability.firmwareGiveUps);
+    EXPECT_EQ(a.reliability.maxLineWear, b.reliability.maxLineWear);
+    EXPECT_EQ(a.reliability.writesBeforeFirstRemap,
+              b.reliability.writesBeforeFirstRemap);
     expectSeriesIdentical(a.ipc, b.ipc);
     expectSeriesIdentical(a.corePower, b.corePower);
     expectSeriesIdentical(a.cumulativeEnergy, b.cumulativeEnergy);
@@ -102,6 +115,45 @@ TEST(DeterminismTest, RepeatedSerialRunsAreBitIdentical)
                                             opts)
                  ->run(spec);
     expectResultIdentical(a, b);
+}
+
+TEST(DeterminismTest, FaultInjectionIsSeedDeterministic)
+{
+    // A fixed fault seed with a nonzero error rate must reproduce
+    // bit-identically — including every reliability counter — and
+    // must actually exercise the retry machinery.
+    auto opts = tinyOptions();
+    opts.wearLeveling = true;
+    opts.gapMovePeriod = 50;
+    opts.reliability.enabled = true;
+    opts.reliability.seed = 42;
+    opts.reliability.writeFailProb = 0.05;
+    const auto &spec = workload::Polybench::byName("gemver");
+    auto a = systems::SystemFactory::create(SystemKind::dramLess,
+                                            opts)
+                 ->run(spec);
+    auto b = systems::SystemFactory::create(SystemKind::dramLess,
+                                            opts)
+                 ->run(spec);
+    expectResultIdentical(a, b);
+    EXPECT_GT(a.reliability.verifyRetries, 0u);
+    EXPECT_GT(a.reliability.maxLineWear, 0u);
+    EXPECT_GT(a.reliability.gapMoveWrites, 0u);
+}
+
+TEST(DeterminismTest, InjectionDisabledReportsAllZeroOutcome)
+{
+    auto opts = tinyOptions();
+    const auto &spec = workload::Polybench::byName("doitg");
+    auto r = systems::SystemFactory::create(SystemKind::dramLess,
+                                            opts)
+                 ->run(spec);
+    EXPECT_EQ(r.reliability.verifyRetries, 0u);
+    EXPECT_EQ(r.reliability.failedWrites, 0u);
+    EXPECT_EQ(r.reliability.badLineRemaps, 0u);
+    EXPECT_EQ(r.reliability.gapMoveWrites, 0u);
+    EXPECT_EQ(r.reliability.firmwareTimeouts, 0u);
+    EXPECT_EQ(r.reliability.maxLineWear, 0u);
 }
 
 TEST(DeterminismTest, ParallelSweepMatchesSerialSweep)

@@ -258,6 +258,8 @@ sampleRun(const std::string &system, const std::string &workload)
     r.energy.storageMedia = 0.125;
     r.ipc.record(0, 1.5);
     r.ipc.record(fromUs(60), 2.5);
+    r.reliability.verifyRetries = 7;
+    r.reliability.badLineRemaps = 2;
     return r;
 }
 
@@ -292,6 +294,9 @@ TEST(ResultSinkTest, CsvHasHeaderAndOneRowPerRun)
     };
     EXPECT_EQ(columns(row1), columns(header));
     EXPECT_EQ(columns(row2), columns(header));
+    EXPECT_NE(header.find("verify_retries"), std::string::npos);
+    EXPECT_NE(header.find("writes_before_first_remap"),
+              std::string::npos);
     EXPECT_EQ(row1.substr(0, 10), "DRAM-less,");
     EXPECT_EQ(row2.substr(0, 16), "\"Hetero, direct\"");
 }
@@ -326,6 +331,11 @@ TEST(ResultSinkTest, JsonDocumentShape)
         << doc;
     EXPECT_NE(doc.find("\"bandwidth_mbps\": 812.5"),
               std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"reliability\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"verify_retries\": 7"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"bad_line_remaps\": 2"), std::string::npos)
         << doc;
 
     // Balanced braces/brackets outside strings -> structurally sound.
