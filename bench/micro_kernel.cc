@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Wall-clock microbenchmark of the simulation kernel: events/sec and
+ * peak RSS. This is the repo's perf-trajectory anchor — the committed
+ * BENCH_4.json baseline is compared against by `--check-against`
+ * (scripts/check.sh stage 3, ctest label `perf`).
+ *
+ * Three workloads:
+ *   steady  raw kernel throughput: a fixed population of persistent
+ *           events self-rescheduling at pseudo-random deltas — the
+ *           shape of every device model's scheduler/step event.
+ *   churn   schedule/deschedule/reschedule mix over a large event
+ *           population: stresses mid-heap removal, which the lazy
+ *           pre-PR kernel deferred and the indexed heap does eagerly.
+ *   sweep   the quick (system x workload) matrix of the golden tests,
+ *           run end to end: kernel throughput with real device models
+ *           on top (the ratio that matters for Polybench sweeps).
+ *
+ * Every workload reports the best of several repetitions so one
+ * scheduler hiccup cannot fake a regression. Usage:
+ *
+ *   micro_kernel [--quick] [--check-against BENCH.json]
+ *
+ * Environment: DRAMLESS_OUT_JSON (export path),
+ * DRAMLESS_PERF_TOLERANCE (allowed fractional regression, def. 0.20).
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/random.hh"
+
+namespace dramless
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** A persistent event that reschedules itself a fixed number of times
+ *  — the steady-state shape of scheduler/step/drain device events. */
+class SelfRescheduler : public Event
+{
+  public:
+    SelfRescheduler(EventQueue &eq, Random *rng,
+                    std::uint64_t *remaining)
+        : eq_(eq), rng_(rng), remaining_(remaining)
+    {}
+
+    void
+    process() override
+    {
+        if (*remaining_ == 0)
+            return;
+        --*remaining_;
+        eq_.schedule(this, eq_.curTick() + 1 + rng_->below(97));
+    }
+
+    std::string name() const override { return "steady"; }
+
+  private:
+    EventQueue &eq_;
+    Random *rng_;
+    std::uint64_t *remaining_;
+};
+
+/** steady: @p total events through @p population self-reschedulers.
+ *  @return events per second. */
+double
+runSteady(std::uint64_t total, std::uint32_t population)
+{
+    EventQueue eq;
+    Random rng(42);
+    std::uint64_t remaining = total;
+    std::vector<std::unique_ptr<SelfRescheduler>> events;
+    events.reserve(population);
+    for (std::uint32_t i = 0; i < population; ++i) {
+        events.push_back(std::make_unique<SelfRescheduler>(
+            eq, &rng, &remaining));
+        eq.schedule(events.back().get(), 1 + rng.below(97));
+    }
+    auto start = Clock::now();
+    eq.run();
+    double secs = secondsSince(start);
+    return double(eq.numProcessed()) / secs;
+}
+
+/** churn: random schedule/deschedule/reschedule/step ops.
+ *  @return kernel operations per second. */
+double
+runChurn(std::uint64_t total_ops, std::uint32_t population)
+{
+    EventQueue eq;
+    Random rng(7);
+    struct Noop : Event
+    {
+        void process() override {}
+        std::string name() const override { return "churn"; }
+    };
+    std::vector<std::unique_ptr<Noop>> events;
+    for (std::uint32_t i = 0; i < population; ++i)
+        events.push_back(std::make_unique<Noop>());
+
+    auto start = Clock::now();
+    for (std::uint64_t op = 0; op < total_ops; ++op) {
+        Event *ev = events[rng.below(population)].get();
+        std::uint64_t dice = rng.below(100);
+        if (dice < 40) {
+            eq.reschedule(ev, eq.curTick() + 1 + rng.below(997));
+        } else if (dice < 60) {
+            if (ev->scheduled())
+                eq.deschedule(ev);
+        } else {
+            eq.step();
+        }
+    }
+    eq.run();
+    double secs = secondsSince(start);
+    return double(total_ops) / secs;
+}
+
+/** sweep: the golden-test quick matrix end to end (serially, so the
+ *  wall clock measures the kernel and models, not the thread pool).
+ *  @return {events per second, total events}. */
+std::pair<double, std::uint64_t>
+runSweepQuick(double scale)
+{
+    const std::vector<systems::SystemKind> kinds = {
+        systems::SystemKind::dramLess,
+        systems::SystemKind::integratedSlc,
+        systems::SystemKind::hetero,
+    };
+    const std::vector<const char *> workloads = {"gemver", "doitg"};
+
+    systems::SystemOptions opts;
+    opts.workloadScale = scale;
+
+    std::uint64_t events = 0;
+    auto start = Clock::now();
+    for (auto kind : kinds) {
+        for (const char *wl : workloads) {
+            auto sys = systems::SystemFactory::create(kind, opts);
+            systems::RunResult r =
+                sys->run(workload::Polybench::byName(wl));
+            events += r.eventsProcessed;
+        }
+    }
+    double secs = secondsSince(start);
+    return {double(events) / secs, events};
+}
+
+/** @return best (max) of @p reps calls to @p f. */
+template <typename F>
+double
+bestOf(int reps, F &&f)
+{
+    double best = 0.0;
+    for (int i = 0; i < reps; ++i)
+        best = std::max(best, f());
+    return best;
+}
+
+std::uint64_t
+peakRssKib()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return std::uint64_t(ru.ru_maxrss);
+}
+
+/** Extract the number following "key": in a JSON file we wrote
+ *  ourselves (flat metric object; no nested duplicates of the key). */
+bool
+extractNumber(const std::string &text, const std::string &key,
+              double *out)
+{
+    std::string needle = "\"" + key + "\":";
+    auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *p = text.c_str() + pos + needle.size();
+    char *end = nullptr;
+    double v = std::strtod(p, &end);
+    if (end == p)
+        return false;
+    *out = v;
+    return true;
+}
+
+struct Metrics
+{
+    double steadyEps = 0.0;
+    double churnOps = 0.0;
+    double sweepEps = 0.0;
+    std::uint64_t sweepEvents = 0;
+};
+
+void
+writeJson(std::ostream &os, const Metrics &m, bool quick)
+{
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.keyValue("bench", "micro_kernel");
+    w.keyValue("quick", quick);
+    w.key("metrics");
+    w.beginObject();
+    w.keyValue("steady_events_per_sec", m.steadyEps);
+    w.keyValue("churn_ops_per_sec", m.churnOps);
+    w.keyValue("sweep_events_per_sec", m.sweepEps);
+    w.keyValue("sweep_events", m.sweepEvents);
+    w.keyValue("peak_rss_kib", peakRssKib());
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+int
+checkAgainst(const std::string &path, const Metrics &m)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "micro_kernel: no baseline at %s; skipping "
+                     "regression check\n",
+                     path.c_str());
+        return 0;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    double tol = 0.20;
+    if (const char *env = std::getenv("DRAMLESS_PERF_TOLERANCE")) {
+        double v = std::atof(env);
+        if (v > 0.0)
+            tol = v;
+    }
+
+    struct Check
+    {
+        const char *key;
+        double now;
+    } checks[] = {
+        {"steady_events_per_sec", m.steadyEps},
+        {"churn_ops_per_sec", m.churnOps},
+        {"sweep_events_per_sec", m.sweepEps},
+    };
+    int rc = 0;
+    for (const auto &c : checks) {
+        double base = 0.0;
+        if (!extractNumber(text, c.key, &base) || base <= 0.0) {
+            std::fprintf(stderr,
+                         "micro_kernel: baseline lacks %s; skipped\n",
+                         c.key);
+            continue;
+        }
+        double ratio = c.now / base;
+        std::printf("%-24s %12.3e vs baseline %12.3e  (%.2fx)\n",
+                    c.key, c.now, base, ratio);
+        if (ratio < 1.0 - tol) {
+            std::fprintf(stderr,
+                         "micro_kernel: %s regressed %.1f%% "
+                         "(tolerance %.0f%%)\n",
+                         c.key, (1.0 - ratio) * 100.0, tol * 100.0);
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+} // anonymous namespace
+} // namespace dramless
+
+int
+main(int argc, char **argv)
+{
+    using namespace dramless;
+
+    bool quick = false;
+    std::string baseline;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--check-against") == 0 &&
+                   i + 1 < argc) {
+            baseline = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] "
+                         "[--check-against BENCH.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    setQuiet(true);
+    const int reps = quick ? 3 : 5;
+    const std::uint64_t steadyTotal = quick ? 2'000'000 : 10'000'000;
+    const std::uint64_t churnOps = quick ? 2'000'000 : 10'000'000;
+    const double sweepScale = quick ? 0.02 : 0.05;
+
+    Metrics m;
+    m.steadyEps =
+        bestOf(reps, [&] { return runSteady(steadyTotal, 64); });
+    std::printf("steady  %12.3e events/sec\n", m.steadyEps);
+    m.churnOps =
+        bestOf(reps, [&] { return runChurn(churnOps, 4096); });
+    std::printf("churn   %12.3e ops/sec\n", m.churnOps);
+    double sweepBest = 0.0;
+    std::uint64_t sweepEvents = 0;
+    for (int i = 0; i < reps; ++i) {
+        auto [eps, events] = runSweepQuick(sweepScale);
+        sweepBest = std::max(sweepBest, eps);
+        sweepEvents = events;
+    }
+    m.sweepEps = sweepBest;
+    m.sweepEvents = sweepEvents;
+    std::printf("sweep   %12.3e events/sec (%llu events)\n",
+                m.sweepEps, (unsigned long long)m.sweepEvents);
+    std::printf("peakRSS %12llu KiB\n",
+                (unsigned long long)peakRssKib());
+
+    if (const char *out = std::getenv("DRAMLESS_OUT_JSON")) {
+        std::ofstream os(out);
+        if (!os) {
+            std::fprintf(stderr, "micro_kernel: cannot write %s\n",
+                         out);
+            return 1;
+        }
+        writeJson(os, m, quick);
+    } else {
+        writeJson(std::cout, m, quick);
+    }
+
+    if (!baseline.empty())
+        return checkAgainst(baseline, m);
+    return 0;
+}

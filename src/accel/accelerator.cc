@@ -14,10 +14,10 @@ Accelerator::Accelerator(EventQueue &eq,
                          std::string name)
     : eventq_(eq), config_(config), name_(std::move(name)),
       psc_(config.numPes),
-      serverEvent_([this] { scheduleNextAgent(); },
-                   name_ + ".server"),
-      sampleEvent_([this] { sample(); }, name_ + ".sample"),
-      imageEvent_([this] { downloadImage(); }, name_ + ".image")
+      serverEvent_(this, name_ + ".server"),
+      sampleEvent_(this, name_ + ".sample"),
+      imageEvent_(this, name_ + ".image"),
+      bootPool_(eq, name_ + ".boot")
 {
     fatal_if(config.numPes < 2,
              "%s: need at least a server and one agent",
@@ -76,7 +76,6 @@ Accelerator::launch(const KernelLaunch &launch,
     for (const auto &[addr, size] : current_.outputRegions)
         mcu_->hintFutureWrite(addr, size);
 
-    bootEvents_.clear();
     if (current_.imageResident) {
         metrics_.imageDownloadedAt = metrics_.interruptAt;
         eventq_.reschedule(&serverEvent_, metrics_.interruptAt);
@@ -169,7 +168,7 @@ Accelerator::bootAgent(std::uint32_t idx, Tick ready_at)
             metrics_.firstAgentStartAt = when;
     };
     // Defer the boot reads until the PSC wake completes.
-    auto *boot = new EventFunctionWrapper([=, this] {
+    bootPool_.schedule(ready_at, [=, this] {
         for (std::uint64_t i = 0; i < chunks; ++i) {
             mcu_->read(current_.imageBase +
                            i * config_.imageChunkBytes,
@@ -179,9 +178,7 @@ Accelerator::bootAgent(std::uint32_t idx, Tick ready_at)
                                start_agent(when);
                        });
         }
-    }, name_ + ".boot");
-    eventq_.schedule(boot, ready_at);
-    bootEvents_.push_back(std::unique_ptr<EventFunctionWrapper>(boot));
+    });
 }
 
 void

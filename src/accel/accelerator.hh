@@ -23,6 +23,7 @@
 #include "accel/mcu.hh"
 #include "accel/pe.hh"
 #include "accel/psc.hh"
+#include "sim/event_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 
@@ -179,10 +180,13 @@ class Accelerator
     LaunchMetrics metrics_;
     stats::TimeSeries ipcSeries_{"totalIpc"};
     stats::TimeSeries activitySeries_{"agentActivity"};
-    EventFunctionWrapper serverEvent_;
-    EventFunctionWrapper sampleEvent_;
-    EventFunctionWrapper imageEvent_;
-    std::vector<std::unique_ptr<EventFunctionWrapper>> bootEvents_;
+    MemberEvent<Accelerator, &Accelerator::scheduleNextAgent>
+        serverEvent_;
+    MemberEvent<Accelerator, &Accelerator::sample> sampleEvent_;
+    MemberEvent<Accelerator, &Accelerator::downloadImage> imageEvent_;
+    /** Per-agent boot callbacks: recycled instead of accumulating a
+     *  heap wrapper per boot across launches. */
+    EventPool bootPool_;
 };
 
 } // namespace accel

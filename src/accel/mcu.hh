@@ -56,7 +56,7 @@ class Mcu
 
     Mcu(EventQueue &eq, const McuConfig &config, std::string name)
         : eventq_(eq), config_(config), name_(std::move(name)),
-          drainEvent_([this] { drain(); }, name_ + ".drain")
+          drainEvent_(this, name_ + ".drain")
     {}
 
     /** Attach the storage backend; registers the MCU's callback. */
@@ -187,7 +187,7 @@ class Mcu
     std::unordered_map<std::uint64_t, Inflight> inflight_;
     Tick busyUntil_ = 0;
     McuStats stats_;
-    EventFunctionWrapper drainEvent_;
+    MemberEvent<Mcu, &Mcu::drain> drainEvent_;
 };
 
 } // namespace accel

@@ -19,7 +19,7 @@ ProcessingElement::ProcessingElement(EventQueue &eq,
       name_(std::move(name)),
       l1_(config.l1, name_ + ".l1"),
       l2_(config.l2, name_ + ".l2"),
-      stepEvent_([this] { step(); }, name_ + ".step")
+      stepEvent_(this, name_ + ".step")
 {
     fatal_if(config.effectiveIssue <= 0.0,
              "%s: issue rate must be positive", name_.c_str());

@@ -157,7 +157,8 @@ class ProcessingElement : public Clocked
     Tick runStart_ = 0;
     std::uint64_t instrAtSample_ = 0;
     PeStats stats_;
-    EventFunctionWrapper stepEvent_;
+    MemberEvent<ProcessingElement, &ProcessingElement::step>
+        stepEvent_;
 };
 
 } // namespace accel

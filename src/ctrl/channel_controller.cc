@@ -30,9 +30,8 @@ ChannelController::ChannelController(EventQueue &eq,
       name_(std::move(name)),
       geom_(geom),
       phy_(eq, timing.tCK),
-      schedulerEvent_([this] { schedule(); }, name_ + ".sched"),
-      completionEvent_([this] { completionTrigger(); },
-                       name_ + ".completion")
+      schedulerEvent_(this, name_ + ".sched"),
+      completionEvent_(this, name_ + ".completion")
 {
     fatal_if(num_modules == 0, "channel needs at least one module");
     modules_.reserve(num_modules);
@@ -817,9 +816,24 @@ ChannelController::schedule()
 
     bool progress = true;
     Tick next_wake = maxTick;
+    // Scan start for each pass. In interleaved mode an issue on
+    // module m resumes the next pass at m: feasibility of earlier
+    // modules depends only on their own (unchanged) state and the
+    // shared CA/DQ bus free times, which issuing can only push later,
+    // so nothing before m becomes newly issuable. A pass that starts
+    // past module 0 and stalls is followed by one full pass so
+    // next_wake accounts for every module. Non-interleaved
+    // scheduling always rescans from 0: the channel-wide FIFO head
+    // may move to any module after an issue.
+    std::uint32_t start = 0;
+    std::uint32_t scan_end = std::uint32_t(modules_.size());
     while (progress) {
         progress = false;
-        next_wake = maxTick;
+        // A prefix-only merge pass (scan_end != size) keeps the
+        // stalled pass's next_wake: together they cover every module
+        // under unchanged bus state, so the merged minimum is exact.
+        if (scan_end == modules_.size())
+            next_wake = maxTick;
 
         // The noop (Bare-metal) scheduler services the request queue
         // strictly in order: only the globally oldest incomplete
@@ -834,8 +848,8 @@ ChannelController::schedule()
             }
         }
 
-        for (std::uint32_t m = 0;
-             m < modules_.size() && !progress; ++m) {
+        std::uint32_t m = start;
+        for (; m < scan_end && !progress; ++m) {
             ModuleState &mstate = moduleStates_[m];
             pram::PramModule &mod = *modules_[m];
 
@@ -890,7 +904,8 @@ ChannelController::schedule()
             }
 
             if (config_.selectiveErasing) {
-                if (mstate.queuedDemandWrites == 0)
+                if (mstate.queuedDemandWrites == 0 &&
+                    !mstate.hints.empty())
                     materializeZeroFill(m);
                 for (auto &zfptr : mstate.zeroFills) {
                     SubOp &zf = *zfptr;
@@ -910,6 +925,17 @@ ChannelController::schedule()
                 if (progress)
                     break;
             }
+        }
+
+        if (progress) {
+            start = config_.interleaving ? m : 0;
+            scan_end = std::uint32_t(modules_.size());
+        } else if (start != 0) {
+            // Stalled mid-array: sweep just the skipped prefix to
+            // fold the remaining modules into next_wake.
+            scan_end = start;
+            start = 0;
+            progress = true;
         }
     }
 

@@ -359,8 +359,11 @@ class ChannelController : public Clocked
     std::uint64_t nextSeq_ = 1;
     std::uint64_t usableWordsPerModule_ = 0;
     ControllerStats stats_;
-    EventFunctionWrapper schedulerEvent_;
-    EventFunctionWrapper completionEvent_;
+    MemberEvent<ChannelController, &ChannelController::schedule>
+        schedulerEvent_;
+    MemberEvent<ChannelController,
+                &ChannelController::completionTrigger>
+        completionEvent_;
     bool inSchedule_ = false;
     /** Reliability knobs; faults_ engaged only when enabled. */
     reliability::ReliabilityConfig relCfg_;

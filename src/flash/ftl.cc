@@ -20,14 +20,12 @@ Ftl::Ftl(FlashArray &array, const FtlConfig &config, std::string name)
                                cfgBlocks_ * cfgPages_;
     logicalPages_ = std::uint64_t(
         double(phys_pages) * (1.0 - config.overProvision));
-    l2p_.assign(logicalPages_, unmapped);
+    l2p_.resize((logicalPages_ + l2pChunkPages - 1) / l2pChunkPages);
 
     blocks_.resize(acfg.numDies());
     dies_.resize(acfg.numDies());
     for (std::uint32_t d = 0; d < acfg.numDies(); ++d) {
         blocks_[d].resize(cfgBlocks_);
-        for (auto &b : blocks_[d])
-            b.pageLpn.assign(cfgPages_, -1);
         for (std::uint32_t b = 0; b < cfgBlocks_; ++b)
             dies_[d].freeBlocks.push_back(b);
     }
@@ -50,7 +48,7 @@ Ftl::isMapped(std::uint64_t lpn) const
 {
     panic_if(lpn >= logicalPages_, "%s: lpn out of range",
              name_.c_str());
-    return l2p_[lpn] != unmapped;
+    return l2pGet(lpn) != unmapped;
 }
 
 PhysPage
@@ -78,15 +76,15 @@ Ftl::allocatePage(std::uint32_t die)
 void
 Ftl::invalidate(std::uint64_t lpn)
 {
-    std::uint64_t old = l2p_[lpn];
+    std::uint64_t old = l2pGet(lpn);
     if (old == unmapped)
         return;
     PhysPage p = decodePpn(old);
     BlockInfo &blk = blockInfo(p.die, p.block);
     panic_if(blk.validPages == 0, "invalidate on empty block");
     --blk.validPages;
-    blk.pageLpn[p.page] = -1;
-    l2p_[lpn] = unmapped;
+    blk.setLpn(p.page, -1, cfgPages_);
+    l2pRef(lpn) = unmapped;
 }
 
 void
@@ -94,15 +92,15 @@ Ftl::populate(std::uint64_t lpn)
 {
     panic_if(lpn >= logicalPages_, "%s: lpn out of range",
              name_.c_str());
-    if (l2p_[lpn] != unmapped)
+    if (l2pGet(lpn) != unmapped)
         return;
     std::uint32_t die =
         std::uint32_t(nextDieRR_++ % array_.config().numDies());
     PhysPage p = allocatePage(die);
     BlockInfo &blk = blockInfo(p.die, p.block);
-    blk.pageLpn[p.page] = std::int64_t(lpn);
+    blk.setLpn(p.page, std::int64_t(lpn), cfgPages_);
     ++blk.validPages;
-    l2p_[lpn] = ppnOf(p.die, p.block, p.page);
+    l2pRef(lpn) = ppnOf(p.die, p.block, p.page);
 }
 
 Tick
@@ -112,10 +110,10 @@ Ftl::readPage(std::uint64_t lpn, Tick earliest)
              name_.c_str());
     // Reading data that was never written: treat it as pre-staged
     // (the evaluations initialize inputs in storage beforehand).
-    if (l2p_[lpn] == unmapped)
+    if (l2pGet(lpn) == unmapped)
         populate(lpn);
     ++stats_.hostPagesRead;
-    return array_.readPage(decodePpn(l2p_[lpn]), earliest);
+    return array_.readPage(decodePpn(l2pGet(lpn)), earliest);
 }
 
 Tick
@@ -135,9 +133,9 @@ Ftl::writePage(std::uint64_t lpn, Tick earliest)
 
     PhysPage p = allocatePage(die);
     BlockInfo &blk = blockInfo(p.die, p.block);
-    blk.pageLpn[p.page] = std::int64_t(lpn);
+    blk.setLpn(p.page, std::int64_t(lpn), cfgPages_);
     ++blk.validPages;
-    l2p_[lpn] = ppnOf(p.die, p.block, p.page);
+    l2pRef(lpn) = ppnOf(p.die, p.block, p.page);
     ++stats_.hostPagesWritten;
     return array_.programPage(p, t);
 }
@@ -168,7 +166,7 @@ Ftl::collectGarbage(std::uint32_t die, Tick earliest)
     BlockInfo &vic = blocks_[die][std::uint32_t(victim)];
     Tick t = earliest;
     for (std::uint32_t pg = 0; pg < cfgPages_; ++pg) {
-        std::int64_t lpn = vic.pageLpn[pg];
+        std::int64_t lpn = vic.lpnAt(pg);
         if (lpn < 0)
             continue;
         // Migrate the still-valid page to the append point.
@@ -176,15 +174,16 @@ Ftl::collectGarbage(std::uint32_t die, Tick earliest)
         t = array_.readPage(src, t);
         PhysPage dst = allocatePage(die);
         BlockInfo &dblk = blockInfo(dst.die, dst.block);
-        dblk.pageLpn[dst.page] = lpn;
+        dblk.setLpn(dst.page, lpn, cfgPages_);
         ++dblk.validPages;
-        l2p_[std::uint64_t(lpn)] = ppnOf(dst.die, dst.block, dst.page);
+        l2pRef(std::uint64_t(lpn)) =
+            ppnOf(dst.die, dst.block, dst.page);
         t = array_.programPage(dst, t);
         ++stats_.pagesMigrated;
     }
     vic.nextPage = 0;
     vic.validPages = 0;
-    std::fill(vic.pageLpn.begin(), vic.pageLpn.end(), -1);
+    vic.pageLpn.clear();
     t = array_.eraseBlock(die, std::uint32_t(victim), t);
     ++stats_.blocksErased;
     ds.freeBlocks.push_back(std::uint32_t(victim));

@@ -8,8 +8,10 @@
 #ifndef DRAMLESS_FLASH_FTL_HH
 #define DRAMLESS_FLASH_FTL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -96,7 +98,25 @@ class Ftl
     {
         std::uint32_t nextPage = 0;
         std::uint32_t validPages = 0;
-        std::vector<std::int64_t> pageLpn; // -1 = invalid/free
+        /** Lazily sized reverse map: empty means every entry is -1
+         *  (invalid/free), so untouched blocks cost no memory and
+         *  construction of a large array costs no time. */
+        std::vector<std::int64_t> pageLpn;
+
+        std::int64_t
+        lpnAt(std::uint32_t pg) const
+        {
+            return pageLpn.empty() ? -1 : pageLpn[pg];
+        }
+
+        void
+        setLpn(std::uint32_t pg, std::int64_t lpn,
+               std::uint32_t pages_per_block)
+        {
+            if (pageLpn.empty())
+                pageLpn.assign(pages_per_block, -1);
+            pageLpn[pg] = lpn;
+        }
     };
 
     struct DieState
@@ -129,6 +149,30 @@ class Ftl
 
     BlockInfo &blockInfo(std::uint32_t die, std::uint32_t block);
 
+    /** Entries per lazily-allocated L2P chunk (512 KiB a chunk). */
+    static constexpr std::uint64_t l2pChunkPages = 1u << 16;
+
+    /** @return the mapping for @p lpn; unmapped when the chunk was
+     *  never written. */
+    std::uint64_t
+    l2pGet(std::uint64_t lpn) const
+    {
+        const auto &chunk = l2p_[lpn / l2pChunkPages];
+        return chunk ? chunk[lpn % l2pChunkPages] : unmapped;
+    }
+
+    /** @return a writable slot for @p lpn, materializing its chunk. */
+    std::uint64_t &
+    l2pRef(std::uint64_t lpn)
+    {
+        auto &chunk = l2p_[lpn / l2pChunkPages];
+        if (!chunk) {
+            chunk = std::make_unique<std::uint64_t[]>(l2pChunkPages);
+            std::fill_n(chunk.get(), l2pChunkPages, unmapped);
+        }
+        return chunk[lpn % l2pChunkPages];
+    }
+
     /** Allocate the next physical page on @p die (no timing). */
     PhysPage allocatePage(std::uint32_t die);
 
@@ -144,7 +188,10 @@ class Ftl
     std::uint32_t cfgBlocks_;
     std::uint32_t cfgPages_;
     std::uint64_t logicalPages_;
-    std::vector<std::uint64_t> l2p_;
+    /** Chunked L2P table: a null chunk is wholly unmapped. The flat
+     *  eager table this replaces dominated construction time (the
+     *  runner builds four FTLs per sweep repetition). */
+    std::vector<std::unique_ptr<std::uint64_t[]>> l2p_;
     std::vector<std::vector<BlockInfo>> blocks_; // [die][block]
     std::vector<DieState> dies_;
     std::uint64_t nextDieRR_ = 0;

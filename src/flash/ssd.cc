@@ -52,8 +52,7 @@ Ssd::Ssd(EventQueue &eq, const SsdConfig &config, std::string name)
       array_(eq, config.array, name_ + ".array"),
       cache_(config.buffer, name_ + ".buffer"),
       firmware_(config.firmware, name_ + ".fw"),
-      completionEvent_([this] { completionTrigger(); },
-                       name_ + ".completion")
+      completionEvent_(this, name_ + ".completion")
 {
     fatal_if(config.buffer.pageBytes != config.array.media.pageBytes,
              "%s: buffer page size must match media page size",

@@ -133,7 +133,7 @@ class Ssd
     ctrl::CompletionCallback callback_;
     std::uint64_t nextId_ = 1;
     SsdStats stats_;
-    EventFunctionWrapper completionEvent_;
+    MemberEvent<Ssd, &Ssd::completionTrigger> completionEvent_;
 };
 
 } // namespace flash

@@ -33,8 +33,7 @@ PramModule::PramModule(EventQueue &eq, const PramGeometry &geom,
       decomposer_(geom),
       rabs_(geom.numRowBuffers),
       rdbs_(geom.numRowBuffers),
-      partitions_(geom.partitionsPerBank),
-      completionEvent_([] {}, name_ + ".completion")
+      partitions_(geom.partitionsPerBank)
 {
     panic_if(!timing.valid(), "invalid PRAM timing for %s",
              name_.c_str());
@@ -370,60 +369,6 @@ PramModule::occupyPartition(std::uint32_t partition, Tick from,
     Partition &part = partitions_[partition];
     part.busyUntil = std::max(part.busyUntil, until);
     stats_.partitionBusyTicks += until - from;
-}
-
-bool
-PramModule::rabValid(std::uint32_t ba) const
-{
-    return rabs_.at(ba).valid;
-}
-
-std::uint64_t
-PramModule::rabUpperRow(std::uint32_t ba) const
-{
-    return rabs_.at(ba).upperRow;
-}
-
-std::uint32_t
-PramModule::rabPartition(std::uint32_t ba) const
-{
-    return rabs_.at(ba).partition;
-}
-
-bool
-PramModule::rdbValid(std::uint32_t ba) const
-{
-    return rdbs_.at(ba).valid;
-}
-
-Tick
-PramModule::rdbReadyAt(std::uint32_t ba) const
-{
-    return rdbs_.at(ba).readyAt;
-}
-
-std::uint64_t
-PramModule::rdbRow(std::uint32_t ba) const
-{
-    return rdbs_.at(ba).row;
-}
-
-std::uint32_t
-PramModule::rdbPartition(std::uint32_t ba) const
-{
-    return rdbs_.at(ba).partition;
-}
-
-bool
-PramModule::rdbIsOverlay(std::uint32_t ba) const
-{
-    return rdbs_.at(ba).overlay;
-}
-
-Tick
-PramModule::partitionBusyUntil(std::uint32_t partition) const
-{
-    return partitions_.at(partition).busyUntil;
 }
 
 Tick

@@ -138,26 +138,46 @@ class PramModule : public Clocked
 
     /** @name Controller-visible resource state @{ */
 
+    // These accessors run once per row buffer per scheduler
+    // feasibility scan — the hottest reads in the whole model — so
+    // they are defined inline here rather than out-of-line in the .cc.
+
     /** @return true when RAB @p ba holds a latched upper row. */
-    bool rabValid(std::uint32_t ba) const;
+    bool rabValid(std::uint32_t ba) const { return rabs_.at(ba).valid; }
     /** @return the upper row latched in RAB @p ba. */
-    std::uint64_t rabUpperRow(std::uint32_t ba) const;
+    std::uint64_t
+    rabUpperRow(std::uint32_t ba) const
+    {
+        return rabs_.at(ba).upperRow;
+    }
     /** @return the partition latched in RAB @p ba. */
-    std::uint32_t rabPartition(std::uint32_t ba) const;
+    std::uint32_t
+    rabPartition(std::uint32_t ba) const
+    {
+        return rabs_.at(ba).partition;
+    }
 
     /** @return true when RDB @p ba holds sensed data. */
-    bool rdbValid(std::uint32_t ba) const;
+    bool rdbValid(std::uint32_t ba) const { return rdbs_.at(ba).valid; }
     /** @return tick at which RDB @p ba data becomes usable. */
-    Tick rdbReadyAt(std::uint32_t ba) const;
+    Tick rdbReadyAt(std::uint32_t ba) const { return rdbs_.at(ba).readyAt; }
     /** @return row held by RDB @p ba. */
-    std::uint64_t rdbRow(std::uint32_t ba) const;
+    std::uint64_t rdbRow(std::uint32_t ba) const { return rdbs_.at(ba).row; }
     /** @return partition of the row held by RDB @p ba. */
-    std::uint32_t rdbPartition(std::uint32_t ba) const;
+    std::uint32_t
+    rdbPartition(std::uint32_t ba) const
+    {
+        return rdbs_.at(ba).partition;
+    }
     /** @return true when RDB @p ba resolves into the overlay window. */
-    bool rdbIsOverlay(std::uint32_t ba) const;
+    bool rdbIsOverlay(std::uint32_t ba) const { return rdbs_.at(ba).overlay; }
 
     /** @return tick until which @p partition is busy. */
-    Tick partitionBusyUntil(std::uint32_t partition) const;
+    Tick
+    partitionBusyUntil(std::uint32_t partition) const
+    {
+        return partitions_.at(partition).busyUntil;
+    }
     /** @return tick until which every in-flight program completes. */
     Tick programBusyUntil() const { return programBusyUntil_; }
     /**
@@ -306,7 +326,6 @@ class PramModule : public Clocked
     std::vector<Tick> programEnds_;
     std::unique_ptr<SparseMemory> store_;
     ModuleStats stats_;
-    EventFunctionWrapper completionEvent_;
 
     /** Optional fault model (not owned); null == injection off. */
     const reliability::FaultModel *faults_ = nullptr;

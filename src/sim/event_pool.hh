@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Recycling pool for transient one-shot events.
+ *
+ * Device models occasionally need fire-and-forget callbacks whose
+ * count is data-dependent (boot-time agent launches, per-chunk
+ * sequencing). Allocating a fresh heap event per callback puts the
+ * allocator on the simulated-time path; this pool keeps a slab of
+ * reusable slots instead. A slot returns itself to the free list
+ * before invoking its callback, so a callback that immediately
+ * schedules another pool event reuses the very slot it ran on —
+ * steady state needs exactly as many slots as the peak number of
+ * simultaneously-pending callbacks, and never touches the allocator
+ * once that peak has been reached (small lambdas stay within
+ * std::function's inline buffer).
+ */
+
+#ifndef DRAMLESS_SIM_EVENT_POOL_HH
+#define DRAMLESS_SIM_EVENT_POOL_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace dramless
+{
+
+/** A slab of reusable one-shot events bound to one queue. */
+class EventPool
+{
+  public:
+    /**
+     * @param eq queue the pool schedules on
+     * @param name diagnostic name prefix for the pooled events
+     */
+    EventPool(EventQueue &eq, std::string name)
+        : eq_(eq), name_(std::move(name))
+    {}
+
+    EventPool(const EventPool &) = delete;
+    EventPool &operator=(const EventPool &) = delete;
+
+    /** Pending callbacks are cancelled; their closures are dropped. */
+    ~EventPool()
+    {
+        for (Slot &s : slab_) {
+            if (s.scheduled())
+                eq_.deschedule(&s);
+        }
+    }
+
+    /**
+     * Run @p fn once at absolute tick @p when. Reuses a free slot when
+     * one exists; grows the slab (stable addresses) otherwise.
+     */
+    void
+    schedule(Tick when, std::function<void()> fn, int priority = 0)
+    {
+        Slot *slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+        } else {
+            slab_.emplace_back(this);
+            slot = &slab_.back();
+        }
+        slot->fn = std::move(fn);
+        eq_.schedule(slot, when, priority);
+    }
+
+    /** @return slots ever created (the high-water mark of pending). */
+    std::size_t capacity() const { return slab_.size(); }
+
+    /** @return slots currently idle and reusable. */
+    std::size_t idle() const { return free_.size(); }
+
+  private:
+    struct Slot : Event
+    {
+        explicit Slot(EventPool *pool) : pool(pool) {}
+
+        void
+        process() override
+        {
+            // Release the slot before running: the callback may
+            // schedule a follow-up that lands right back on it.
+            std::function<void()> f = std::move(fn);
+            fn = nullptr;
+            pool->free_.push_back(this);
+            f();
+        }
+
+        std::string
+        name() const override
+        {
+            return pool->name_ + ".pooled";
+        }
+
+        EventPool *pool;
+        std::function<void()> fn;
+    };
+
+    EventQueue &eq_;
+    std::string name_;
+    /** Deque: growth never moves slots the queue holds pointers to. */
+    std::deque<Slot> slab_;
+    std::vector<Slot *> free_;
+};
+
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_EVENT_POOL_HH

@@ -1,13 +1,70 @@
 #include "sim/event_queue.hh"
 
+#include <cassert>
+
 #include "sim/logging.hh"
 
 namespace dramless
 {
 
+std::atomic<std::uint64_t> EventFunctionWrapper::numConstructed_{0};
+
 Event::~Event()
 {
     panic_if(_scheduled, "event destroyed while scheduled");
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Slot s = heap_[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / arity;
+        if (!before(s, heap_[parent]))
+            break;
+        place(i, heap_[parent]);
+        i = parent;
+    }
+    place(i, s);
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Slot s = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t first = i * arity + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t last = std::min(first + arity, n);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], s))
+            break;
+        place(i, heap_[best]);
+        i = best;
+    }
+    place(i, s);
+}
+
+void
+EventQueue::removeAt(std::size_t i)
+{
+    assert(i < heap_.size());
+    Slot tail = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size())
+        return;
+    place(i, tail);
+    // The tail element may belong above or below the vacated slot
+    // (root pops only ever sift down).
+    siftDown(i);
+    if (i > 0 && tail.ev->_heapIdx == i)
+        siftUp(i);
 }
 
 void
@@ -26,8 +83,8 @@ EventQueue::schedule(Event *ev, Tick when, int priority)
     ev->_seq = nextSeq_++;
     ev->_scheduled = true;
     ev->_queue = this;
-    heap_.push(Entry{when, priority, ev->_seq, ev});
-    ++numPending_;
+    heap_.push_back(Slot{when, priority, ev->_seq, ev});
+    siftUp(heap_.size() - 1);
 }
 
 void
@@ -39,14 +96,11 @@ EventQueue::deschedule(Event *ev)
     panic_if(ev->_queue != this,
              "event '%s' descheduled from a queue it is not on",
              ev->name().c_str());
-    // Lazy removal: mark the entry's sequence number stale; the heap
-    // entry is discarded when it reaches the top. The event pointer in
-    // the stale entry is never dereferenced again, so the event may be
+    // Eager removal: unlink the heap slot now. The event may be
     // destroyed (or rescheduled on another queue) immediately.
-    staleSeqs_.insert(ev->_seq);
+    removeAt(ev->_heapIdx);
     ev->_scheduled = false;
     ev->_queue = nullptr;
-    --numPending_;
 }
 
 void
@@ -59,47 +113,40 @@ EventQueue::reschedule(Event *ev, Tick when, int priority)
              "event '%s' rescheduled into the past (%llu < %llu)",
              ev->name().c_str(),
              (unsigned long long)when, (unsigned long long)_curTick);
-    if (ev->_scheduled)
-        deschedule(ev);
-    schedule(ev, when, priority);
-}
-
-void
-EventQueue::skipStale() const
-{
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        auto it = staleSeqs_.find(top.seq);
-        if (it == staleSeqs_.end())
-            return;
-        staleSeqs_.erase(it);
-        heap_.pop();
+    if (!ev->_scheduled) {
+        schedule(ev, when, priority);
+        return;
     }
-}
-
-Tick
-EventQueue::nextTick() const
-{
-    skipStale();
-    return heap_.empty() ? maxTick : heap_.top().when;
+    panic_if(ev->_queue != this,
+             "event '%s' descheduled from a queue it is not on",
+             ev->name().c_str());
+    // Re-key in place. The sequence number is refreshed exactly as the
+    // historical deschedule+schedule pair did, preserving the global
+    // pop order bit for bit.
+    ev->_when = when;
+    ev->_priority = priority;
+    ev->_seq = nextSeq_++;
+    std::size_t i = ev->_heapIdx;
+    heap_[i] = Slot{when, priority, ev->_seq, ev};
+    siftDown(i);
+    if (ev->_heapIdx == i)
+        siftUp(i);
 }
 
 bool
 EventQueue::step()
 {
-    skipStale();
     if (heap_.empty())
         return false;
 
-    Entry top = heap_.top();
-    heap_.pop();
-    panic_if(top.when < _curTick, "time went backwards");
-    _curTick = top.when;
-    top.ev->_scheduled = false;
-    top.ev->_queue = nullptr;
-    --numPending_;
+    Event *ev = heap_.front().ev;
+    panic_if(heap_.front().when < _curTick, "time went backwards");
+    _curTick = heap_.front().when;
+    removeAt(0);
+    ev->_scheduled = false;
+    ev->_queue = nullptr;
     ++numProcessed_;
-    top.ev->process();
+    ev->process();
     return true;
 }
 
@@ -126,6 +173,24 @@ EventQueue::run(std::uint64_t limit)
     while (n < limit && step())
         ++n;
     return n;
+}
+
+bool
+EventQueue::selfCheck() const
+{
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Slot &s = heap_[i];
+        if (s.ev == nullptr || s.ev->_heapIdx != i)
+            return false;
+        if (!s.ev->_scheduled || s.ev->_queue != this)
+            return false;
+        if (s.when != s.ev->_when || s.priority != s.ev->_priority ||
+            s.seq != s.ev->_seq)
+            return false;
+        if (i > 0 && before(s, heap_[(i - 1) / arity]))
+            return false;
+    }
+    return true;
 }
 
 } // namespace dramless

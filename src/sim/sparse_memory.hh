@@ -6,6 +6,10 @@
  * gigabyte range; a dense allocation would be wasteful for timing
  * simulations that touch a fraction of the space. SparseMemory allocates
  * fixed-size blocks on first write and reads zeros elsewhere.
+ *
+ * Accesses are strongly block-local (row-buffer bursts walk a 4 KiB
+ * block in 32-byte pieces), so a one-entry MRU cache in front of the
+ * hash lookup turns almost every access into a pointer compare.
  */
 
 #ifndef DRAMLESS_SIM_SPARSE_MEMORY_HH
@@ -40,6 +44,18 @@ class SparseMemory
     /** @return addressable capacity in bytes. */
     std::uint64_t capacity() const { return capacity_; }
 
+    /**
+     * Pre-size the block table for @p bytes of expected traffic,
+     * avoiding rehashes (which are pure overhead on the hot path)
+     * while the working set grows to that size.
+     */
+    void
+    reserve(std::uint64_t bytes)
+    {
+        blocks_.reserve(std::size_t(
+            (bytes + blockBytes_ - 1) / blockBytes_));
+    }
+
     /** Read @p len bytes at @p addr into @p out. */
     void
     read(std::uint64_t addr, void *out, std::uint64_t len) const
@@ -51,11 +67,11 @@ class SparseMemory
             std::uint32_t off = std::uint32_t(addr % blockBytes_);
             std::uint64_t chunk = std::min<std::uint64_t>(
                 len, blockBytes_ - off);
-            auto it = blocks_.find(block);
-            if (it == blocks_.end())
+            const std::vector<std::uint8_t> *data = findBlock(block);
+            if (data == nullptr)
                 std::memset(dst, 0, chunk);
             else
-                std::memcpy(dst, it->second.data() + off, chunk);
+                std::memcpy(dst, data->data() + off, chunk);
             dst += chunk;
             addr += chunk;
             len -= chunk;
@@ -73,10 +89,8 @@ class SparseMemory
             std::uint32_t off = std::uint32_t(addr % blockBytes_);
             std::uint64_t chunk = std::min<std::uint64_t>(
                 len, blockBytes_ - off);
-            auto &data = blocks_[block];
-            if (data.empty())
-                data.assign(blockBytes_, 0);
-            std::memcpy(data.data() + off, s, chunk);
+            std::memcpy(materializeBlock(block).data() + off, s,
+                        chunk);
             s += chunk;
             addr += chunk;
             len -= chunk;
@@ -94,12 +108,12 @@ class SparseMemory
             std::uint64_t chunk = std::min<std::uint64_t>(
                 len, blockBytes_ - off);
             if (value == 0 && off == 0 && chunk == blockBytes_) {
+                if (mruBlock_ == block)
+                    mruData_ = nullptr;
                 blocks_.erase(block);
             } else {
-                auto &data = blocks_[block];
-                if (data.empty())
-                    data.assign(blockBytes_, 0);
-                std::memset(data.data() + off, value, chunk);
+                std::memset(materializeBlock(block).data() + off,
+                            value, chunk);
             }
             addr += chunk;
             len -= chunk;
@@ -118,9 +132,41 @@ class SparseMemory
                  (unsigned long long)addr, (unsigned long long)len);
     }
 
+    /** @return the block's storage, or null when never written. */
+    const std::vector<std::uint8_t> *
+    findBlock(std::uint64_t block) const
+    {
+        if (block == mruBlock_)
+            return mruData_;
+        auto it = blocks_.find(block);
+        // Cache misses too: repeated reads of an untouched block
+        // (zeros) shouldn't re-probe the hash table every burst.
+        mruBlock_ = block;
+        mruData_ = it == blocks_.end() ? nullptr : &it->second;
+        return mruData_;
+    }
+
+    /** @return the block's storage, allocating it zeroed if absent. */
+    std::vector<std::uint8_t> &
+    materializeBlock(std::uint64_t block)
+    {
+        if (block == mruBlock_ && mruData_ != nullptr)
+            return const_cast<std::vector<std::uint8_t> &>(*mruData_);
+        auto &data = blocks_[block];
+        if (data.empty())
+            data.assign(blockBytes_, 0);
+        // Map values are node-stable, so caching the pointer is safe
+        // until this exact block is erased (fill() invalidates then).
+        mruBlock_ = block;
+        mruData_ = &data;
+        return data;
+    }
+
     std::uint64_t capacity_;
     std::uint32_t blockBytes_;
     std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> blocks_;
+    mutable std::uint64_t mruBlock_ = ~std::uint64_t(0);
+    mutable const std::vector<std::uint8_t> *mruData_ = nullptr;
 };
 
 } // namespace dramless

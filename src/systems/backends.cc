@@ -57,7 +57,7 @@ FirmwareFrontedBackend::FirmwareFrontedBackend(
     const flash::FirmwareConfig &fw, std::string name)
     : eventq_(eq), inner_(inner), fw_(fw, name + ".fw"),
       name_(std::move(name)),
-      fireEvent_([this] { fire(); }, name_ + ".fire")
+      fireEvent_(this, name_ + ".fire")
 {
     inner_.setCallback([this](std::uint64_t inner_id, Tick when) {
         auto it = innerToOuter_.find(inner_id);
@@ -130,7 +130,7 @@ FirmwareFrontedBackend::capacity() const
 DramBackend::DramBackend(EventQueue &eq, const Config &config,
                          std::string name)
     : eventq_(eq), config_(config), name_(std::move(name)),
-      fireEvent_([this] { fire(); }, name_ + ".fire")
+      fireEvent_(this, name_ + ".fire")
 {}
 
 void
@@ -225,7 +225,7 @@ SsdBackend::capacity() const
 NorBackend::NorBackend(EventQueue &eq, flash::NorPram &nor,
                        std::string name)
     : eventq_(eq), nor_(nor), name_(std::move(name)),
-      fireEvent_([this] { fire(); }, name_ + ".fire")
+      fireEvent_(this, name_ + ".fire")
 {}
 
 void

@@ -87,7 +87,8 @@ class FirmwareFrontedBackend : public accel::MemoryBackend
     std::map<Tick, std::vector<Deferred>> deferred_;
     /** Map from inner ids to outer ids. */
     std::map<std::uint64_t, std::uint64_t> innerToOuter_;
-    EventFunctionWrapper fireEvent_;
+    MemberEvent<FirmwareFrontedBackend, &FirmwareFrontedBackend::fire>
+        fireEvent_;
 };
 
 /**
@@ -128,7 +129,7 @@ class DramBackend : public accel::MemoryBackend
     Tick busyUntil_ = 0;
     std::uint64_t bytesMoved_ = 0;
     std::map<Tick, std::vector<std::uint64_t>> pending_;
-    EventFunctionWrapper fireEvent_;
+    MemberEvent<DramBackend, &DramBackend::fire> fireEvent_;
 };
 
 /**
@@ -173,7 +174,7 @@ class NorBackend : public accel::MemoryBackend
     Callback cb_;
     std::uint64_t nextId_ = 1;
     std::map<Tick, std::vector<std::uint64_t>> pending_;
-    EventFunctionWrapper fireEvent_;
+    MemberEvent<NorBackend, &NorBackend::fire> fireEvent_;
 };
 
 } // namespace systems

@@ -7,6 +7,7 @@
 #include "flash/ssd.hh"
 #include "host/pcie.hh"
 #include "host/software_stack.hh"
+#include "sim/event_pool.hh"
 #include "systems/backends.hh"
 #include "systems/energy_accounting.hh"
 #include "workload/trace_gen.hh"
@@ -49,24 +50,21 @@ isPramSsd(HeteroKind kind)
            kind == HeteroKind::heterodirectPram;
 }
 
-/** Allocates one-shot events and keeps them alive until drained. */
+/** Pooled one-shot events: slots recycle as chunks drain. */
 class Sequencer
 {
   public:
-    explicit Sequencer(EventQueue &eq) : eq_(eq) {}
+    explicit Sequencer(EventQueue &eq) : eq_(eq), pool_(eq, "seq") {}
 
     void
     at(Tick when, std::function<void()> fn)
     {
-        events_.push_back(std::make_unique<EventFunctionWrapper>(
-            std::move(fn), "seq"));
-        eq_.schedule(events_.back().get(),
-                     std::max(when, eq_.curTick()));
+        pool_.schedule(std::max(when, eq_.curTick()), std::move(fn));
     }
 
   private:
     EventQueue &eq_;
-    std::vector<std::unique_ptr<EventFunctionWrapper>> events_;
+    EventPool pool_;
 };
 
 } // anonymous namespace

@@ -79,6 +79,9 @@ struct RunResult
 
     std::uint64_t totalInstructions = 0;
     std::uint64_t bytesProcessed = 0;
+    /** Simulation-kernel events processed by the run's event queue
+     *  (wall-clock perf accounting; not a figure metric). */
+    std::uint64_t eventsProcessed = 0;
 
     /** Fault-injection outcome (zeros when disabled). */
     ReliabilityOutcome reliability;

@@ -89,6 +89,7 @@ class AcceleratedSystem
         result.system = name_;
         result.workload = spec.name;
         result.bytesProcessed = scaled.totalBytes();
+        result.eventsProcessed = eq_.numProcessed();
         if (result.execTime > 0) {
             result.bandwidthMBps =
                 double(scaled.totalBytes()) /

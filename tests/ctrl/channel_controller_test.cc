@@ -102,6 +102,31 @@ TEST_F(ChannelTest, RepeatedReadHitsRowBuffersAndSkipsPhases)
     EXPECT_LT(second_lat, fromNs(70));
 }
 
+TEST_F(ChannelTest, SteadyStateAllocatesNoFunctionEvents)
+{
+    // The per-request path through the controller and the PRAM
+    // modules must run entirely on persistent MemberEvents: no
+    // EventFunctionWrapper (and thus no std::function allocation) may
+    // be constructed while traffic flows.
+    auto ctl = make(SchedulerConfig::finalConfig());
+    Random rng(7);
+    const std::uint64_t before = EventFunctionWrapper::constructed();
+    for (int i = 0; i < 200; ++i) {
+        MemRequest req;
+        req.kind = rng.uniform() < 0.5 ? ReqKind::read
+                                       : ReqKind::write;
+        req.addr = rng.below(1u << 20) * 32;
+        req.size = 32;
+        ctl->enqueue(req);
+        if (i % 16 == 15)
+            runAll();
+    }
+    runAll();
+    EXPECT_EQ(EventFunctionWrapper::constructed(), before)
+        << "steady-state request path constructed function events";
+    EXPECT_EQ(done.size(), 200u);
+}
+
 TEST_F(ChannelTest, FunctionalWriteThenTimedReadBack)
 {
     auto ctl = make(SchedulerConfig::finalConfig());

@@ -1,8 +1,14 @@
 /**
  * @file
- * Model-based fuzz test of the event queue: a randomized sequence of
- * schedule/deschedule/reschedule/step operations checked against a
- * simple reference model (a multiset of (tick, seq) pairs).
+ * Model-based fuzz tests of the event queue.
+ *
+ * MatchesReferenceModel drives a modest schedule/deschedule/step mix
+ * against a map-based oracle. DifferentialAgainstSortedVector is the
+ * heavy differential test for the indexed heap: ~10k randomized
+ * operations (mixed priorities, idle reschedules at curTick,
+ * destroy-while-descheduled) against a naive sorted-vector reference
+ * ordered by the exact kernel key (tick, priority, seq), with heap
+ * invariants validated along the way.
  */
 
 #include <gtest/gtest.h>
@@ -111,6 +117,121 @@ TEST(EventQueueFuzzTest, MatchesReferenceModel)
         while (model_pop()) {
         }
         eq.run();
+        ASSERT_EQ(fired, expected) << "seed " << seed;
+    }
+}
+
+TEST(EventQueueFuzzTest, DifferentialAgainstSortedVector)
+{
+    for (std::uint64_t seed : {3u, 17u, 4242u}) {
+        Random rng(seed);
+        EventQueue eq;
+        std::vector<int> fired;
+
+        constexpr int num_events = 64;
+        std::vector<std::unique_ptr<RecordingEvent>> events;
+        for (int i = 0; i < num_events; ++i)
+            events.push_back(
+                std::make_unique<RecordingEvent>(&fired, i));
+
+        // Naive reference: a vector kept sorted by the kernel's
+        // strict total order (tick, priority, seq). Sequence numbers
+        // mirror the queue's allocation rule: one fresh seq per
+        // schedule AND per reschedule, starting at 1.
+        struct RefEntry
+        {
+            Tick when;
+            int prio;
+            std::uint64_t seq;
+            int id;
+        };
+        std::vector<RefEntry> ref;
+        std::uint64_t next_seq = 1;
+        std::vector<int> expected;
+
+        auto ref_less = [](const RefEntry &a, const RefEntry &b) {
+            if (a.when != b.when)
+                return a.when < b.when;
+            if (a.prio != b.prio)
+                return a.prio < b.prio;
+            return a.seq < b.seq;
+        };
+        auto ref_insert = [&](Tick when, int prio, int id) {
+            RefEntry e{when, prio, next_seq++, id};
+            ref.insert(std::upper_bound(ref.begin(), ref.end(), e,
+                                        ref_less),
+                       e);
+        };
+        auto ref_erase = [&](int id) {
+            auto it = std::find_if(
+                ref.begin(), ref.end(),
+                [&](const RefEntry &e) { return e.id == id; });
+            ASSERT_NE(it, ref.end());
+            ref.erase(it);
+        };
+
+        const int prios[] = {Event::highPriority,
+                             Event::defaultPriority,
+                             Event::lowPriority, -3, 5};
+
+        for (int step = 0; step < 10000; ++step) {
+            int id = int(rng.below(num_events));
+            Event *ev = events[id].get();
+            int prio = prios[rng.below(5)];
+            double dice = rng.uniform();
+            if (dice < 0.30) {
+                if (!ev->scheduled()) {
+                    Tick when = eq.curTick() + rng.below(500);
+                    eq.schedule(ev, when, prio);
+                    ref_insert(when, prio, id);
+                }
+            } else if (dice < 0.50) {
+                // Reschedule scheduled or idle events alike; an idle
+                // event rescheduled AT curTick must fire this tick.
+                Tick when = eq.curTick() + rng.below(200);
+                if (ev->scheduled())
+                    ref_erase(id);
+                eq.reschedule(ev, when, prio);
+                ref_insert(when, prio, id);
+            } else if (dice < 0.62) {
+                if (ev->scheduled()) {
+                    eq.deschedule(ev);
+                    ref_erase(id);
+                }
+            } else if (dice < 0.68) {
+                // Destroy while descheduled: the eager unlink must
+                // leave no dangling heap slot behind.
+                if (ev->scheduled()) {
+                    eq.deschedule(ev);
+                    ref_erase(id);
+                }
+                events[id] =
+                    std::make_unique<RecordingEvent>(&fired, id);
+            } else if (dice < 0.95) {
+                bool fired_real = eq.step();
+                ASSERT_EQ(fired_real, !ref.empty());
+                if (!ref.empty()) {
+                    expected.push_back(ref.front().id);
+                    ref.erase(ref.begin());
+                }
+            } else {
+                // Exactness + invariant audit.
+                ASSERT_EQ(eq.numPending(), ref.size());
+                ASSERT_EQ(eq.empty(), ref.empty());
+                ASSERT_EQ(eq.nextTick(),
+                          ref.empty() ? maxTick : ref.front().when);
+                ASSERT_TRUE(eq.selfCheck());
+            }
+        }
+
+        while (!ref.empty()) {
+            expected.push_back(ref.front().id);
+            ref.erase(ref.begin());
+        }
+        eq.run();
+        ASSERT_TRUE(eq.empty());
+        ASSERT_EQ(eq.numPending(), 0u);
+        ASSERT_TRUE(eq.selfCheck());
         ASSERT_EQ(fired, expected) << "seed " << seed;
     }
 }

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "sim/event_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/ticks.hh"
 
@@ -238,6 +241,112 @@ TEST(EventQueueTest, PriorityAccessorReflectsSchedule)
     eq.reschedule(&ev, 6, Event::lowPriority);
     EXPECT_EQ(ev.priority(), Event::lowPriority);
     eq.run();
+}
+
+TEST(EventQueueTest, MidHeapDescheduleKeepsHeapConsistent)
+{
+    // Removing events from the middle of the heap (not the root, not
+    // the tail) exercises removeAt's sift-both-ways repair; the
+    // survivors must still pop in exact (tick, priority, seq) order.
+    EventQueue eq;
+    std::vector<int> fired;
+    std::vector<std::unique_ptr<EventFunctionWrapper>> events;
+    for (int i = 0; i < 32; ++i) {
+        events.push_back(std::make_unique<EventFunctionWrapper>(
+            [&fired, i] { fired.push_back(i); }, "mid"));
+        // Scatter ticks so the heap is well mixed.
+        eq.schedule(events.back().get(), Tick((i * 37) % 61));
+    }
+    ASSERT_TRUE(eq.selfCheck());
+    std::vector<int> expected;
+    for (int i = 0; i < 32; ++i) {
+        if (i % 3 == 1) {
+            eq.deschedule(events[i].get());
+            ASSERT_TRUE(eq.selfCheck());
+        }
+    }
+    EXPECT_EQ(eq.numPending(), 32u - 11u);
+    std::vector<std::pair<Tick, int>> keep;
+    for (int i = 0; i < 32; ++i)
+        if (i % 3 != 1)
+            keep.emplace_back(Tick((i * 37) % 61), i);
+    std::stable_sort(keep.begin(), keep.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (const auto &[_, id] : keep)
+        expected.push_back(id);
+    eq.run();
+    EXPECT_EQ(fired, expected);
+    EXPECT_TRUE(eq.selfCheck());
+}
+
+TEST(EventQueueTest, MemberEventInvokesBoundHandler)
+{
+    struct Widget
+    {
+        int pokes = 0;
+        void poke() { ++pokes; }
+        MemberEvent<Widget, &Widget::poke> pokeEvent{this, "w.poke"};
+    };
+    EventQueue eq;
+    Widget w;
+    EXPECT_EQ(w.pokeEvent.name(), "w.poke");
+    eq.schedule(&w.pokeEvent, 10);
+    eq.run();
+    EXPECT_EQ(w.pokes, 1);
+    // Persistent events are reusable after firing.
+    eq.schedule(&w.pokeEvent, 20);
+    eq.run();
+    EXPECT_EQ(w.pokes, 2);
+}
+
+TEST(EventPoolTest, RecyclesSlotsAcrossBursts)
+{
+    EventQueue eq;
+    EventPool pool(eq, "test.pool");
+    int runs = 0;
+    for (int burst = 0; burst < 4; ++burst) {
+        for (int i = 0; i < 8; ++i)
+            pool.schedule(eq.curTick() + Tick(i),
+                          [&runs] { ++runs; });
+        eq.run();
+    }
+    EXPECT_EQ(runs, 32);
+    // Steady state: the first burst's slots serve every later burst.
+    EXPECT_EQ(pool.capacity(), 8u);
+    EXPECT_EQ(pool.idle(), 8u);
+}
+
+TEST(EventPoolTest, CallbackCanRescheduleIntoOwnPool)
+{
+    // A slot frees itself before invoking its callback, so a chain of
+    // self-rescheduling transients needs only one slot.
+    EventQueue eq;
+    EventPool pool(eq, "test.chain");
+    int hops = 0;
+    std::function<void()> hop = [&] {
+        if (++hops < 5)
+            pool.schedule(eq.curTick() + 3, hop);
+    };
+    pool.schedule(0, hop);
+    eq.run();
+    EXPECT_EQ(hops, 5);
+    EXPECT_EQ(pool.capacity(), 1u);
+}
+
+TEST(EventPoolTest, DestructorCancelsPendingEvents)
+{
+    EventQueue eq;
+    bool ran = false;
+    {
+        EventPool pool(eq, "test.dtor");
+        pool.schedule(10, [&ran] { ran = true; });
+    }
+    // The pool descheduled its pending slot on destruction.
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
 }
 
 TEST(EventQueueDeathTest, DoubleSchedulePanics)
