@@ -29,16 +29,19 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # pool, the trace merge path, and every system model end to end. The
 # reliability suite rides along because its retry/remap paths splice
 # request state and re-issue buffers — exactly where lifetime bugs
-# would hide.
+# would hide. The integrity fuzz suite drives randomized traffic
+# through wear leveling + fault injection + spare remap against a
+# shadow model, so it runs under sanitizers too.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" \
     -DDRAMLESS_SANITIZE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
 cmake --build "$san_dir" -j "$jobs" --target runner_tests \
-    reliability_tests
+    reliability_tests integrity_tests
 "$san_dir/tests/runner/runner_tests" \
     --gtest_filter='DeterminismTest.*'
 "$san_dir/tests/reliability/reliability_tests"
+"$san_dir/tests/systems/integrity_tests"
 
 # Stage 3: kernel performance gate. Re-runs the wall-clock
 # micro_kernel quick sweep serially (no sanitizers, default
@@ -46,5 +49,60 @@ cmake --build "$san_dir" -j "$jobs" --target runner_tests \
 # regression against the committed BENCH_4.json baseline. Widen the
 # tolerance on noisy shared machines via DRAMLESS_PERF_TOLERANCE.
 ctest --test-dir "$build_dir" --output-on-failure -L perf
+
+# Stage 4: workload coverage gate. The workload generators are the
+# ground truth every system measurement rests on, so their test suite
+# must keep src/workload line coverage at or above the floor. Builds
+# an instrumented profile (DRAMLESS_COVERAGE=ON), runs the workload
+# suite, and aggregates gcov line counts over src/workload.
+cov_floor=${DRAMLESS_COVERAGE_FLOOR:-85}
+cov_dir="$build_dir-cov"
+cmake -B "$cov_dir" -S "$repo_root" \
+    -DDRAMLESS_COVERAGE=ON \
+    -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
+cmake --build "$cov_dir" -j "$jobs" --target workload_tests
+"$cov_dir/tests/workload/workload_tests"
+# Line-level union merge across translation units: each .gcda (the
+# library's own objects plus the test objects, which hold the header
+# inline coverage) is gcov'ed separately, and a source line counts as
+# covered if ANY unit executed it. The per-file percentages gcov
+# prints cannot be merged; the per-line records can.
+cov_pct=$(cd "$cov_dir" && {
+        for gcda in \
+            src/workload/CMakeFiles/dramless_workload.dir/*.gcda \
+            tests/workload/CMakeFiles/workload_tests.dir/*.gcda
+        do
+            [ -f "$gcda" ] || continue
+            gcov -p "$gcda" > /dev/null 2>&1 || true
+            cat ./*src*workload*.gcov 2>/dev/null
+            rm -f ./*.gcov
+        done
+    } | awk -F: '
+        $3 == "Source" { file = $4; next }
+        NF >= 2 && file ~ /\/src\/workload\// {
+            count = $1; gsub(/ /, "", count);
+            if (count == "-") next;          # not executable
+            key = file ":" $2;
+            lines[key] = 1;
+            if (count != "#####" && count != "=====")
+                hit[key] = 1;
+        }
+        END {
+            total = 0; covered = 0;
+            for (k in lines) {
+                ++total;
+                if (k in hit) ++covered;
+            }
+            if (total > 0) printf "%.1f", covered / total * 100;
+            else print "0";
+        }')
+echo "check.sh: src/workload line coverage ${cov_pct}%" \
+     "(floor ${cov_floor}%)"
+if [ "$(awk -v p="$cov_pct" -v f="$cov_floor" \
+        'BEGIN { print (p + 0 < f + 0) ? 1 : 0 }')" = 1 ]; then
+    echo "check.sh: FAIL — src/workload coverage ${cov_pct}% is" \
+         "below the ${cov_floor}% floor" >&2
+    exit 1
+fi
 
 echo "check.sh: all tests passed (DRAMLESS_JOBS=$DRAMLESS_JOBS)"

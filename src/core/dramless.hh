@@ -18,7 +18,9 @@
 #include "runner/sweep_runner.hh"
 #include "runner/trace_export.hh"
 #include "systems/factory.hh"
+#include "workload/graph.hh"
 #include "workload/polybench.hh"
 #include "workload/trace_gen.hh"
+#include "workload/workload_model.hh"
 
 #endif // DRAMLESS_CORE_DRAMLESS_HH

@@ -28,6 +28,20 @@ makeJob(systems::SystemKind kind, const workload::WorkloadSpec &spec,
         }};
 }
 
+SweepJob
+makeJob(systems::SystemKind kind,
+        std::shared_ptr<const workload::WorkloadModel> model,
+        const systems::SystemOptions &opts)
+{
+    fatal_if(!model, "makeJob: null workload model");
+    return SweepJob{
+        systems::SystemFactory::label(kind), model->spec().name,
+        [kind, model, opts]() {
+            auto sys = systems::SystemFactory::create(kind, opts);
+            return sys->run(*model);
+        }};
+}
+
 std::vector<SweepJob>
 makeMatrixJobs(const std::vector<systems::SystemKind> &kinds,
                const std::vector<workload::WorkloadSpec> &specs,
@@ -38,6 +52,21 @@ makeMatrixJobs(const std::vector<systems::SystemKind> &kinds,
     for (systems::SystemKind kind : kinds)
         for (const auto &spec : specs)
             jobs.push_back(makeJob(kind, spec, opts));
+    return jobs;
+}
+
+std::vector<SweepJob>
+makeMatrixJobs(
+    const std::vector<systems::SystemKind> &kinds,
+    const std::vector<std::shared_ptr<const workload::WorkloadModel>>
+        &models,
+    const systems::SystemOptions &opts)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(kinds.size() * models.size());
+    for (systems::SystemKind kind : kinds)
+        for (const auto &model : models)
+            jobs.push_back(makeJob(kind, model, opts));
     return jobs;
 }
 

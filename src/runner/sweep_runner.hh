@@ -24,6 +24,7 @@
 #include "systems/metrics.hh"
 #include "systems/system.hh"
 #include "workload/polybench.hh"
+#include "workload/workload_model.hh"
 
 namespace dramless
 {
@@ -51,11 +52,25 @@ SweepJob makeJob(systems::SystemKind kind,
                  const workload::WorkloadSpec &spec,
                  const systems::SystemOptions &opts);
 
+/** Build the job running @p model (shared, immutable) on @p kind. */
+SweepJob
+makeJob(systems::SystemKind kind,
+        std::shared_ptr<const workload::WorkloadModel> model,
+        const systems::SystemOptions &opts);
+
 /** Cross product @p kinds x @p specs in row-major (kind-major) order. */
 std::vector<SweepJob>
 makeMatrixJobs(const std::vector<systems::SystemKind> &kinds,
                const std::vector<workload::WorkloadSpec> &specs,
                const systems::SystemOptions &opts);
+
+/** Cross product over workload models (Polybench, graphs, ...). */
+std::vector<SweepJob>
+makeMatrixJobs(
+    const std::vector<systems::SystemKind> &kinds,
+    const std::vector<std::shared_ptr<const workload::WorkloadModel>>
+        &models,
+    const systems::SystemOptions &opts);
 
 /**
  * Worker count taken from the DRAMLESS_JOBS environment variable;

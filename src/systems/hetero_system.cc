@@ -10,7 +10,7 @@
 #include "sim/event_pool.hh"
 #include "systems/backends.hh"
 #include "systems/energy_accounting.hh"
-#include "workload/trace_gen.hh"
+#include "workload/workload_model.hh"
 
 namespace dramless
 {
@@ -74,14 +74,19 @@ HeteroSystem::HeteroSystem(HeteroKind kind, const SystemOptions &opts)
 {}
 
 RunResult
-HeteroSystem::doRun(const workload::WorkloadSpec &spec)
+HeteroSystem::doRun(const workload::WorkloadModel &model)
 {
     RunResult res;
+    const workload::WorkloadSpec &spec = model.spec();
     const std::uint32_t agents = opts_.numPes - 1;
     const std::uint32_t chunks = std::max<std::uint32_t>(
         1, opts_.heteroChunks);
-    workload::WorkloadSpec chunk_spec =
-        spec.scaled(1.0 / double(chunks));
+    // The chunk model knows how the workload splits: regular kernels
+    // shrink by 1/chunks, data-dependent ones (graphs) keep the
+    // shared state every chunk must re-stage.
+    std::shared_ptr<const workload::WorkloadModel> chunk_model =
+        model.chunked(chunks);
+    const workload::WorkloadSpec &chunk_spec = chunk_model->spec();
 
     // --------------------------- components ------------------------
     flash::SsdConfig scfg = isPramSsd(kind_)
@@ -121,7 +126,7 @@ HeteroSystem::doRun(const workload::WorkloadSpec &spec)
     Tick end_tick = 0;
     std::uint32_t chunk = 0;
     Tick ssd_wait = 0; // device time on the chunk load/store path
-    std::vector<std::unique_ptr<workload::PolybenchTraceSource>>
+    std::vector<std::unique_ptr<workload::AgentTraceSource>>
         traces(agents);
     stats::TimeSeries ipc_all("totalIpc");
     stats::TimeSeries act_all("agentActivity");
@@ -160,15 +165,13 @@ HeteroSystem::doRun(const workload::WorkloadSpec &spec)
                 // agentsResident fast path models what the paper's
                 // streaming model avoids and stays off here.
                 for (std::uint32_t i = 0; i < agents; ++i) {
-                    workload::TraceGenConfig tc;
-                    tc.spec = chunk_spec;
-                    tc.inputBase = 0;
-                    tc.outputBase = out_base;
-                    tc.agentIndex = i;
-                    tc.numAgents = agents;
-                    tc.seed = opts_.seed + chunk;
-                    traces[i] = std::make_unique<
-                        workload::PolybenchTraceSource>(tc);
+                    workload::AgentTraceParams tp;
+                    tp.inputBase = 0;
+                    tp.outputBase = out_base;
+                    tp.agentIndex = i;
+                    tp.numAgents = agents;
+                    tp.seed = opts_.seed + chunk;
+                    traces[i] = chunk_model->makeAgentTrace(tp);
                     launch.agentTraces.push_back(traces[i].get());
                 }
                 if (!ipc_all.empty() || chunk > 0) {

@@ -44,7 +44,7 @@ class HeteroSystem : public AcceleratedSystem
     HeteroSystem(HeteroKind kind, const SystemOptions &opts);
 
   protected:
-    RunResult doRun(const workload::WorkloadSpec &spec) override;
+    RunResult doRun(const workload::WorkloadModel &model) override;
 
   private:
     HeteroKind kind_;

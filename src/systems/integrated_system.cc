@@ -10,7 +10,7 @@
 #include "host/software_stack.hh"
 #include "systems/backends.hh"
 #include "systems/energy_accounting.hh"
-#include "workload/trace_gen.hh"
+#include "workload/workload_model.hh"
 
 namespace dramless
 {
@@ -97,9 +97,10 @@ IntegratedSystem::IntegratedSystem(IntegratedKind kind,
 {}
 
 RunResult
-IntegratedSystem::doRun(const workload::WorkloadSpec &spec)
+IntegratedSystem::doRun(const workload::WorkloadModel &model)
 {
     RunResult res;
+    const workload::WorkloadSpec &spec = model.spec();
     const std::uint32_t agents = opts_.numPes - 1;
 
     // ------------------------- address map -------------------------
@@ -230,21 +231,18 @@ IntegratedSystem::doRun(const workload::WorkloadSpec &spec)
     accel.attachBackend(backend);
 
     // ---------------------------- traces ---------------------------
-    std::vector<std::unique_ptr<workload::PolybenchTraceSource>>
-        traces;
+    std::vector<std::unique_ptr<workload::AgentTraceSource>> traces;
     accel::KernelLaunch launch;
     launch.imageBytes = opts_.imageBytes;
     launch.imageBase = image_base;
     for (std::uint32_t i = 0; i < agents; ++i) {
-        workload::TraceGenConfig tc;
-        tc.spec = spec;
-        tc.inputBase = input_base;
-        tc.outputBase = output_base;
-        tc.agentIndex = i;
-        tc.numAgents = agents;
-        tc.seed = opts_.seed;
-        traces.push_back(
-            std::make_unique<workload::PolybenchTraceSource>(tc));
+        workload::AgentTraceParams tp;
+        tp.inputBase = input_base;
+        tp.outputBase = output_base;
+        tp.agentIndex = i;
+        tp.numAgents = agents;
+        tp.seed = opts_.seed;
+        traces.push_back(model.makeAgentTrace(tp));
         launch.agentTraces.push_back(traces.back().get());
         launch.outputRegions.push_back(
             traces.back()->outputRegion());

@@ -58,7 +58,7 @@ class IntegratedSystem : public AcceleratedSystem
     IntegratedSystem(IntegratedKind kind, const SystemOptions &opts);
 
   protected:
-    RunResult doRun(const workload::WorkloadSpec &spec) override;
+    RunResult doRun(const workload::WorkloadModel &model) override;
 
   private:
     IntegratedKind kind_;

@@ -19,6 +19,7 @@
 #include "sim/trace.hh"
 #include "systems/metrics.hh"
 #include "workload/polybench.hh"
+#include "workload/workload_model.hh"
 
 namespace dramless
 {
@@ -76,33 +77,44 @@ class AcceleratedSystem
 
     virtual ~AcceleratedSystem() = default;
 
-    /** Execute @p spec end-to-end and return the run's metrics. */
+    /** Execute @p model end-to-end and return the run's metrics. */
     RunResult
-    run(const workload::WorkloadSpec &spec)
+    run(const workload::WorkloadModel &model)
     {
-        workload::WorkloadSpec scaled =
-            spec.scaled(opts_.workloadScale);
+        std::shared_ptr<const workload::WorkloadModel> scaled;
+        const workload::WorkloadModel *m = &model;
+        if (opts_.workloadScale != 1.0) {
+            scaled = model.scaled(opts_.workloadScale);
+            m = scaled.get();
+        }
         trace::Span runSpan(trace::catSystem, name_, "run",
                             eq_.curTick());
-        RunResult result = doRun(scaled);
+        RunResult result = doRun(*m);
         runSpan.finish(eq_.curTick());
         result.system = name_;
-        result.workload = spec.name;
-        result.bytesProcessed = scaled.totalBytes();
+        result.workload = model.spec().name;
+        result.bytesProcessed = m->spec().totalBytes();
         result.eventsProcessed = eq_.numProcessed();
         if (result.execTime > 0) {
             result.bandwidthMBps =
-                double(scaled.totalBytes()) /
+                double(m->spec().totalBytes()) /
                 (double(result.execTime) / double(tickPerSec)) /
                 1e6;
         }
         return result;
     }
 
+    /** Convenience overload: run the Polybench generator on @p spec. */
+    RunResult
+    run(const workload::WorkloadSpec &spec)
+    {
+        return run(*workload::modelFor(spec));
+    }
+
     const std::string &name() const { return name_; }
 
   protected:
-    virtual RunResult doRun(const workload::WorkloadSpec &spec) = 0;
+    virtual RunResult doRun(const workload::WorkloadModel &model) = 0;
 
     std::string name_;
     SystemOptions opts_;

@@ -20,18 +20,38 @@ PolybenchTraceSource::PolybenchTraceSource(
              "access size must be a positive multiple of 32");
 
     const std::uint32_t unit = cfg_.accessBytes;
-    inSize_ = cfg_.spec.inputBytes / cfg_.numAgents / unit * unit;
-    outSize_ = cfg_.spec.outputBytes / cfg_.numAgents / unit * unit;
-    if (inSize_ == 0)
-        inSize_ = unit;
-    if (outSize_ == 0)
-        outSize_ = unit;
-    inBase_ = cfg_.inputBase + cfg_.agentIndex * inSize_;
+    // Partition whole access units across agents, spreading the
+    // remainder over the first agents so the union of slices covers
+    // every full unit exactly once (flooring each slice used to drop
+    // up to numAgents-1 units at the partition tail). Sub-unit
+    // residue is unaddressable at PE granularity and stays dropped.
+    auto slice = [&](std::uint64_t total_bytes, std::uint64_t &base,
+                     std::uint64_t &size) {
+        std::uint64_t units = total_bytes / unit;
+        std::uint64_t per = units / cfg_.numAgents;
+        std::uint64_t extra = units % cfg_.numAgents;
+        std::uint64_t first =
+            cfg_.agentIndex * per +
+            std::min<std::uint64_t>(cfg_.agentIndex, extra);
+        std::uint64_t count = per + (cfg_.agentIndex < extra ? 1 : 0);
+        if (count == 0) {
+            // Degenerate volume: alias the last unit so every agent
+            // still has work (and never reads past the region).
+            count = 1;
+            first = units > 0 ? units - 1 : 0;
+        }
+        base = first * unit;
+        size = count * unit;
+    };
+    std::uint64_t in_off = 0, out_off = 0;
+    slice(cfg_.spec.inputBytes, in_off, inSize_);
+    slice(cfg_.spec.outputBytes, out_off, outSize_);
+    inBase_ = cfg_.inputBase + in_off;
     std::uint64_t out_base = cfg_.outputBase != 0
                                  ? cfg_.outputBase
                                  : cfg_.inputBase +
                                        cfg_.spec.inputBytes;
-    outBase_ = out_base + cfg_.agentIndex * outSize_;
+    outBase_ = out_base + out_off;
 }
 
 void

@@ -13,6 +13,7 @@
 #include "accel/trace.hh"
 #include "sim/random.hh"
 #include "workload/polybench.hh"
+#include "workload/workload_model.hh"
 
 namespace dramless
 {
@@ -45,7 +46,7 @@ struct TraceGenConfig
  * stores to its output slice paced so the store/load byte ratio
  * equals the spec's output/input ratio.
  */
-class PolybenchTraceSource : public accel::TraceSource
+class PolybenchTraceSource : public AgentTraceSource
 {
   public:
     explicit PolybenchTraceSource(const TraceGenConfig &config);
@@ -53,7 +54,7 @@ class PolybenchTraceSource : public accel::TraceSource
     bool next(accel::TraceItem &out) override;
 
     /** Restart the trace (for repeated launches). */
-    void rewind();
+    void rewind() override;
 
     /** @return input bytes this agent will load (slice size). */
     std::uint64_t loadBytes() const { return inSize_; }
@@ -62,7 +63,7 @@ class PolybenchTraceSource : public accel::TraceSource
     /** @return [base, base+size) of this agent's output slice (for
      *  selective-erasing hints). */
     std::pair<std::uint64_t, std::uint64_t>
-    outputRegion() const
+    outputRegion() const override
     {
         return {outBase_, outSize_};
     }

@@ -1,0 +1,31 @@
+#include "workload/workload_model.hh"
+
+#include "workload/trace_gen.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+std::unique_ptr<AgentTraceSource>
+PolybenchModel::makeAgentTrace(const AgentTraceParams &p) const
+{
+    TraceGenConfig tc;
+    tc.spec = spec_;
+    tc.inputBase = p.inputBase;
+    tc.outputBase = p.outputBase;
+    tc.agentIndex = p.agentIndex;
+    tc.numAgents = p.numAgents;
+    tc.accessBytes = p.accessBytes;
+    tc.seed = p.seed;
+    return std::make_unique<PolybenchTraceSource>(tc);
+}
+
+std::shared_ptr<const WorkloadModel>
+modelFor(const WorkloadSpec &spec)
+{
+    return std::make_shared<PolybenchModel>(spec);
+}
+
+} // namespace workload
+} // namespace dramless

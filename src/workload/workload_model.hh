@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The workload abstraction the system models run.
+ *
+ * Historically every consumer held a raw WorkloadSpec and constructed
+ * PolybenchTraceSource instances directly, hard-wiring the synthetic
+ * Polybench generator into the systems layer. WorkloadModel turns a
+ * workload into a first-class object: a descriptor (the WorkloadSpec,
+ * for layout and billing) plus a factory of per-agent trace sources.
+ * Polybench and the graph-analytics engine (workload/graph.hh) both
+ * implement it, so every place that consumes a workload — the systems,
+ * the sweep runner, the bench harness — works with either.
+ */
+
+#ifndef DRAMLESS_WORKLOAD_WORKLOAD_MODEL_HH
+#define DRAMLESS_WORKLOAD_WORKLOAD_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "accel/trace.hh"
+#include "workload/polybench.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+/** Placement and identity of one agent's trace within a run. */
+struct AgentTraceParams
+{
+    /** Base address of the input dataset. */
+    std::uint64_t inputBase = 0;
+    /** Base address of the output region; 0 means "directly after
+     *  the input" (generator-defined). */
+    std::uint64_t outputBase = 0;
+    /** This agent's index and the number of agents sharing the
+     *  kernel. */
+    std::uint32_t agentIndex = 0;
+    std::uint32_t numAgents = 1;
+    /** PE operand size (256-bit SIMD loads/stores). */
+    std::uint32_t accessBytes = 32;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * A per-agent trace stream with the extra surface the system models
+ * need beyond accel::TraceSource: restartability and the agent's
+ * output footprint (for selective-erasing hints).
+ */
+class AgentTraceSource : public accel::TraceSource
+{
+  public:
+    /** Restart the trace (for repeated launches). */
+    virtual void rewind() = 0;
+
+    /** @return [base, size) of this agent's output region. */
+    virtual std::pair<std::uint64_t, std::uint64_t>
+    outputRegion() const = 0;
+};
+
+/**
+ * One runnable workload: a descriptor plus a trace factory.
+ *
+ * Implementations must be immutable after construction so a single
+ * model can be shared across SweepRunner jobs running on different
+ * threads.
+ */
+class WorkloadModel
+{
+  public:
+    virtual ~WorkloadModel() = default;
+
+    /** @return the descriptor (name, volumes, pattern, class). The
+     *  generated traces stay inside [inputBase, inputBase +
+     *  spec().inputBytes) / the matching output window. */
+    virtual const WorkloadSpec &spec() const = 0;
+
+    /** @return a copy with data volumes scaled by @p factor. */
+    virtual std::shared_ptr<const WorkloadModel>
+    scaled(double factor) const = 0;
+
+    /**
+     * @return the model of one chunk when a heterogeneous run splits
+     * the workload into @p chunks sequential pieces. Regular kernels
+     * chunk cleanly (scaled(1/chunks)); data-dependent workloads
+     * override this to keep the shared state every chunk re-touches.
+     */
+    virtual std::shared_ptr<const WorkloadModel>
+    chunked(std::uint32_t chunks) const
+    {
+        return scaled(1.0 / double(chunks));
+    }
+
+    /** Build agent @p p.agentIndex's trace over this workload. */
+    virtual std::unique_ptr<AgentTraceSource>
+    makeAgentTrace(const AgentTraceParams &p) const = 0;
+};
+
+/**
+ * Spec-backed model: the synthetic Polybench pattern generator
+ * (workload/trace_gen.hh) behind the WorkloadModel interface.
+ */
+class PolybenchModel : public WorkloadModel
+{
+  public:
+    explicit PolybenchModel(WorkloadSpec spec)
+        : spec_(std::move(spec))
+    {}
+
+    const WorkloadSpec &spec() const override { return spec_; }
+
+    std::shared_ptr<const WorkloadModel>
+    scaled(double factor) const override
+    {
+        return std::make_shared<PolybenchModel>(
+            spec_.scaled(factor));
+    }
+
+    std::unique_ptr<AgentTraceSource>
+    makeAgentTrace(const AgentTraceParams &p) const override;
+
+  private:
+    WorkloadSpec spec_;
+};
+
+/** Wrap @p spec in a shared PolybenchModel. */
+std::shared_ptr<const WorkloadModel> modelFor(const WorkloadSpec &spec);
+
+} // namespace workload
+} // namespace dramless
+
+#endif // DRAMLESS_WORKLOAD_WORKLOAD_MODEL_HH

@@ -262,6 +262,71 @@ TEST(TraceGenTest, DeterministicAcrossInstances)
     EXPECT_EQ(a.storeAddrs, b.storeAddrs);
 }
 
+TEST(TraceGenTest, RemainderUnitsSpreadAcrossAgents)
+{
+    // 13 input units and 5 output units over 4 agents: every whole
+    // 32 B unit is owned by exactly one agent and none is dropped.
+    // (The old flooring slice math left up to numAgents-1 tail units
+    // of each region unread and unwritten.)
+    WorkloadSpec s;
+    s.name = "slice13";
+    s.pattern = Pattern::streaming;
+    s.klass = WorkloadClass::memoryIntensive;
+    s.inputBytes = 13 * 32;
+    s.outputBytes = 5 * 32;
+    s.opsPerByte = 1.0;
+
+    constexpr std::uint32_t agents = 4;
+    std::set<std::uint64_t> in_addrs, out_addrs;
+    std::uint64_t in_total = 0, out_total = 0;
+    for (std::uint32_t a = 0; a < agents; ++a) {
+        TraceGenConfig tc;
+        tc.spec = s;
+        tc.agentIndex = a;
+        tc.numAgents = agents;
+        PolybenchTraceSource src(tc);
+        in_total += src.loadBytes();
+        out_total += src.storeBytes();
+        TraceSummary sum = drain(src);
+        for (auto addr : sum.loadAddrs) {
+            EXPECT_TRUE(in_addrs.insert(addr).second)
+                << "input overlap at " << addr;
+        }
+        for (auto addr : sum.storeAddrs) {
+            EXPECT_TRUE(out_addrs.insert(addr).second)
+                << "output overlap at " << addr;
+        }
+    }
+    EXPECT_EQ(in_total, s.inputBytes);
+    EXPECT_EQ(out_total, s.outputBytes);
+    EXPECT_EQ(in_addrs.size(), 13u);
+    EXPECT_EQ(out_addrs.size(), 5u);
+}
+
+TEST(TraceGenTest, DegenerateVolumeAliasesLastUnit)
+{
+    // Fewer units than agents: every agent still gets (the same)
+    // one unit of work rather than an empty trace.
+    WorkloadSpec s;
+    s.name = "tiny";
+    s.pattern = Pattern::streaming;
+    s.klass = WorkloadClass::memoryIntensive;
+    s.inputBytes = 2 * 32;
+    s.outputBytes = 32;
+    s.opsPerByte = 1.0;
+    for (std::uint32_t a = 0; a < 4; ++a) {
+        TraceGenConfig tc;
+        tc.spec = s;
+        tc.agentIndex = a;
+        tc.numAgents = 4;
+        PolybenchTraceSource src(tc);
+        EXPECT_EQ(src.loadBytes(), 32u) << "agent " << a;
+        EXPECT_EQ(src.storeBytes(), 32u) << "agent " << a;
+        TraceSummary sum = drain(src);
+        EXPECT_GT(sum.items, 0u) << "agent " << a;
+    }
+}
+
 TEST(TraceGenDeathTest, RejectsBadSlices)
 {
     TraceGenConfig tc = config("gemver", 0.05);
