@@ -2,8 +2,11 @@
  * @file
  * Wall-clock microbenchmark of the simulation kernel: events/sec and
  * peak RSS. This is the repo's perf-trajectory anchor — the committed
- * BENCH_4.json baseline is compared against by `--check-against`
- * (scripts/check.sh stage 3, ctest label `perf`).
+ * BENCH_7.json baseline is compared against by `--check-against`
+ * (scripts/check.sh stage 3, ctest label `perf`). Besides the three
+ * throughput gates, the sweep's deterministic heap-event count is
+ * gated upward so a coalescing regression (event blow-up) fails even
+ * when raw wall clock stays inside tolerance.
  *
  * Three workloads:
  *   steady  raw kernel throughput: a fixed population of persistent
@@ -281,6 +284,31 @@ checkAgainst(const std::string &path, const Metrics &m)
                          "micro_kernel: %s regressed %.1f%% "
                          "(tolerance %.0f%%)\n",
                          c.key, (1.0 - ratio) * 100.0, tol * 100.0);
+            rc = 1;
+        }
+    }
+
+    // The sweep's heap-event count is deterministic, so a coalescing
+    // regression shows up as an event blow-up long before wall-clock
+    // noise could trip the throughput gates. Gate the count upward:
+    // more pops than baseline (plus tolerance) is a failure.
+    double base_events = 0.0;
+    if (!extractNumber(text, "sweep_events", &base_events) ||
+        base_events <= 0.0) {
+        std::fprintf(stderr,
+                     "micro_kernel: baseline lacks sweep_events; "
+                     "skipped\n");
+    } else {
+        double ratio = double(m.sweepEvents) / base_events;
+        std::printf("%-24s %12.3e vs baseline %12.3e  (%.2fx)\n",
+                    "sweep_events", double(m.sweepEvents),
+                    base_events, ratio);
+        if (ratio > 1.0 + tol) {
+            std::fprintf(stderr,
+                         "micro_kernel: sweep event count blew up "
+                         "%.1f%% (tolerance %.0f%%) — coalescing "
+                         "regression?\n",
+                         (ratio - 1.0) * 100.0, tol * 100.0);
             rc = 1;
         }
     }

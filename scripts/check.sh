@@ -46,7 +46,8 @@ cmake --build "$san_dir" -j "$jobs" --target runner_tests \
 # Stage 3: kernel performance gate. Re-runs the wall-clock
 # micro_kernel quick sweep serially (no sanitizers, default
 # RelWithDebInfo build from stage 1) and fails on a >20% events/sec
-# regression against the committed BENCH_4.json baseline. Widen the
+# regression (or sweep heap-event blow-up) against the committed
+# BENCH_7.json baseline. Widen the
 # tolerance on noisy shared machines via DRAMLESS_PERF_TOLERANCE.
 ctest --test-dir "$build_dir" --output-on-failure -L perf
 

@@ -101,6 +101,7 @@ ProcessingElement::step()
             return;
         }
         haveItem_ = true;
+        burstDone_ = 0;
     }
 
     switch (item_.kind) {
@@ -118,56 +119,85 @@ ProcessingElement::step()
       case TraceItem::Kind::load:
       case TraceItem::Kind::store: {
         bool is_store = item_.kind == TraceItem::Kind::store;
-        if (is_store) {
-            ++stats_.stores;
-            if (!config_.writeAllocate) {
-                stepStoreNoAllocate();
+        if (is_store && !config_.writeAllocate) {
+            stepStoreNoAllocate();
+            return;
+        }
+        // Walk the burst's words inside this one heap event,
+        // accumulating cache-hit cycles; the walk pauses at the word
+        // that needs a blocking action (L2 miss fill, store-queue
+        // backpressure) and resumes there afterwards.
+        Cycles acc = 0;
+        while (true) {
+            std::uint64_t addr =
+                item_.addr + std::uint64_t(burstDone_) * item_.size;
+            if (is_store)
+                ++stats_.stores;
+            else
+                ++stats_.loads;
+            CacheAccessResult r1 = l1_.access(addr, is_store);
+            if (!r1.hit) {
+                // L1 fill happens on the miss; its dirty victim
+                // drains into L2.
+                if (r1.writeback) {
+                    CacheAccessResult wr =
+                        l2_.access(r1.writebackAddr, true, false);
+                    if (!wr.hit) {
+                        postWrite(r1.writebackAddr,
+                                  config_.l1.blockBytes);
+                    }
+                }
+                CacheAccessResult r2 = l2_.access(addr, is_store);
+                if (!r2.hit) {
+                    // L2 miss: the server MCU fetches one L2 block
+                    // (512 B per channel request shape); store
+                    // misses fetch-then-merge (write allocate). The
+                    // dirty victim, if any, is posted when the fill
+                    // returns. Hit cycles banked so far overlap the
+                    // stall.
+                    ++stats_.l2MissReads;
+                    if (auto *t = trace::current()) {
+                        t->instant(trace::catAccel, name_, "l2.miss",
+                                   curTick());
+                    }
+                    DPRINTF("PE",
+                            "%s miss addr=0x%llx -> fetch L2 block",
+                            is_store ? "store" : "load",
+                            (unsigned long long)addr);
+                    stats_.memAccessCycles += acc;
+                    busySinceSample_ += cyclesToTicks(acc);
+                    waitingLoad_ = true;
+                    stallStart_ = curTick();
+                    pendingWbValid_ = r2.writeback;
+                    pendingWbAddr_ = r2.writebackAddr;
+                    ++burstDone_; // retired when the fill returns
+                    mcu_->read(l2_.blockBase(addr),
+                               config_.l2.blockBytes,
+                               [this](Tick when) {
+                                   loadReturned(when);
+                               });
+                    return;
+                }
+                acc += config_.l2.latencyCycles;
+            } else {
+                acc += config_.l1.latencyCycles;
+            }
+            if (++burstDone_ >= item_.burst)
+                break;
+            if (storeQueueUsed_ >= config_.storeQueueDepth) {
+                // A victim writeback filled the queue mid-burst: let
+                // the banked hit cycles elapse, then re-enter; the
+                // entry check stalls if it is still full.
+                stats_.memAccessCycles += acc;
+                busySinceSample_ += cyclesToTicks(acc);
+                eventQueue().reschedule(&stepEvent_, clockEdge(acc));
                 return;
             }
-        } else {
-            ++stats_.loads;
         }
-        CacheAccessResult r1 = l1_.access(item_.addr, is_store);
-        if (r1.hit) {
-            Cycles c = config_.l1.latencyCycles;
-            stats_.memAccessCycles += c;
-            busySinceSample_ += cyclesToTicks(c);
-            haveItem_ = false;
-            eventQueue().reschedule(&stepEvent_, clockEdge(c));
-            return;
-        }
-        // L1 fill happens below; its dirty victim drains into L2.
-        if (r1.writeback) {
-            CacheAccessResult wr =
-                l2_.access(r1.writebackAddr, true, false);
-            if (!wr.hit)
-                postWrite(r1.writebackAddr, config_.l1.blockBytes);
-        }
-        CacheAccessResult r2 = l2_.access(item_.addr, is_store);
-        if (r2.hit) {
-            Cycles c = config_.l2.latencyCycles;
-            stats_.memAccessCycles += c;
-            busySinceSample_ += cyclesToTicks(c);
-            haveItem_ = false;
-            eventQueue().reschedule(&stepEvent_, clockEdge(c));
-            return;
-        }
-        // L2 miss: the server MCU fetches one L2 block (512 B per
-        // channel request shape); store misses fetch-then-merge
-        // (write allocate). The dirty victim, if any, is posted when
-        // the fill returns.
-        ++stats_.l2MissReads;
-        if (auto *t = trace::current())
-            t->instant(trace::catAccel, name_, "l2.miss", curTick());
-        DPRINTF("PE", "%s miss addr=0x%llx -> fetch L2 block",
-                is_store ? "store" : "load",
-                (unsigned long long)item_.addr);
-        waitingLoad_ = true;
-        stallStart_ = curTick();
-        pendingWbValid_ = r2.writeback;
-        pendingWbAddr_ = r2.writebackAddr;
-        mcu_->read(l2_.blockBase(item_.addr), config_.l2.blockBytes,
-                   [this](Tick when) { loadReturned(when); });
+        stats_.memAccessCycles += acc;
+        busySinceSample_ += cyclesToTicks(acc);
+        haveItem_ = false;
+        eventQueue().reschedule(&stepEvent_, clockEdge(acc));
         return;
       }
     }
@@ -177,33 +207,65 @@ ProcessingElement::step()
 void
 ProcessingElement::stepStoreNoAllocate()
 {
-    CacheAccessResult r1 = l1_.access(item_.addr, true, false);
-    CacheAccessResult r2 =
-        r1.hit ? r1 : l2_.access(item_.addr, true, false);
-    if (r1.hit || r2.hit) {
-        Cycles c = r1.hit ? config_.l1.latencyCycles
+    // Walk the burst's words; contiguous missed stores merge into
+    // one posted write (one store-queue slot, one MCU request) so a
+    // coalesced burst crosses the PE-controller boundary once.
+    Cycles acc = 0;
+    std::uint64_t runStart = 0;
+    std::uint32_t runWords = 0;
+    auto flush_run = [&]() {
+        if (runWords == 0)
+            return;
+        ++storeQueueUsed_;
+        ++stats_.missedStoreWrites;
+        mcu_->write(runStart, item_.size * runWords,
+                    [this](Tick when) { storeDrained(when); });
+        runWords = 0;
+    };
+    while (burstDone_ < item_.burst) {
+        std::uint64_t addr =
+            item_.addr + std::uint64_t(burstDone_) * item_.size;
+        CacheAccessResult r1 = l1_.access(addr, true, false);
+        CacheAccessResult r2 =
+            r1.hit ? r1 : l2_.access(addr, true, false);
+        if (r1.hit || r2.hit) {
+            flush_run();
+            ++stats_.stores;
+            acc += r1.hit ? config_.l1.latencyCycles
                           : config_.l2.latencyCycles;
-        stats_.memAccessCycles += c;
-        busySinceSample_ += cyclesToTicks(c);
-        haveItem_ = false;
-        eventQueue().reschedule(&stepEvent_, clockEdge(c));
-        return;
+            ++burstDone_;
+            continue;
+        }
+        // Missed store: bypass the caches, drain through the store
+        // queue. Extending the open run costs no extra slot; opening
+        // one needs a free slot.
+        if (runWords == 0 &&
+            storeQueueUsed_ >= config_.storeQueueDepth) {
+            if (acc > 0) {
+                // Let the banked cycles elapse; the entry check
+                // stalls on re-entry if the queue is still full.
+                stats_.memAccessCycles += acc;
+                busySinceSample_ += cyclesToTicks(acc);
+                eventQueue().reschedule(&stepEvent_, clockEdge(acc));
+                return;
+            }
+            waitingStore_ = true;
+            stallStart_ = curTick();
+            return; // resumes when a queued store completes
+        }
+        if (runWords == 0)
+            runStart = addr;
+        ++runWords;
+        ++stats_.stores;
+        acc += Cycles(1);
+        ++burstDone_;
     }
-    // Missed store: bypass the caches, drain through the store queue.
-    if (storeQueueUsed_ >= config_.storeQueueDepth) {
-        waitingStore_ = true;
-        stallStart_ = curTick();
-        return; // resumes when a queued store completes
-    }
-    ++storeQueueUsed_;
-    ++stats_.missedStoreWrites;
-    mcu_->write(item_.addr, item_.size,
-                [this](Tick when) { storeDrained(when); });
-    Cycles c = 1;
-    stats_.memAccessCycles += c;
-    busySinceSample_ += cyclesToTicks(c);
+    flush_run();
+    stats_.memAccessCycles += acc;
+    busySinceSample_ += cyclesToTicks(acc);
     haveItem_ = false;
-    eventQueue().reschedule(&stepEvent_, clockEdge(c));
+    eventQueue().reschedule(&stepEvent_, clockEdge(std::max<Cycles>(
+        Cycles(1), acc)));
 }
 
 void
@@ -237,11 +299,13 @@ ProcessingElement::loadReturned(Tick when)
         pendingWbValid_ = false;
     }
     // The L1/L2 tag state was updated when the miss was detected; the
-    // returning fill only costs the L2 access latency here.
+    // returning fill only costs the L2 access latency here. A
+    // mid-burst miss keeps the item live so the walk resumes at the
+    // next word.
     Cycles c = config_.l2.latencyCycles;
     stats_.memAccessCycles += c;
     busySinceSample_ += cyclesToTicks(c);
-    haveItem_ = false;
+    haveItem_ = burstDone_ < item_.burst;
     eventQueue().reschedule(&stepEvent_, clockEdge(c));
 }
 

@@ -146,6 +146,9 @@ class ProcessingElement : public Clocked
     bool traceExhausted_ = false;
     TraceItem item_;
     bool haveItem_ = false;
+    /** Words of the current memory item already issued; a burst item
+     *  retires once burstDone_ == item_.burst. */
+    std::uint32_t burstDone_ = 0;
     /** Dirty blocks awaiting the end-of-kernel flush to storage. */
     std::deque<std::pair<std::uint64_t, std::uint32_t>> flushQueue_;
     std::uint32_t storeQueueUsed_ = 0;

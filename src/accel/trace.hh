@@ -35,8 +35,22 @@ struct TraceItem
     std::uint64_t instructions = 0;
     /** Byte address for memory items. */
     std::uint64_t addr = 0;
-    /** Access size for memory items. */
+    /** Access size of one word for memory items. */
     std::uint32_t size = 0;
+    /**
+     * Burst length for memory items: number of contiguous @c size
+     * byte words starting at @c addr. The PE walks the words of a
+     * burst inside one heap event; the memory path keeps per-word
+     * semantics (fault injection, verify, wear) regardless of burst.
+     */
+    std::uint32_t burst = 1;
+
+    /** @return total bytes covered by a memory item. */
+    std::uint64_t
+    bytes() const
+    {
+        return std::uint64_t(size) * burst;
+    }
 
     static TraceItem
     computeOf(std::uint64_t instructions)
@@ -48,22 +62,26 @@ struct TraceItem
     }
 
     static TraceItem
-    loadOf(std::uint64_t addr, std::uint32_t size)
+    loadOf(std::uint64_t addr, std::uint32_t size,
+           std::uint32_t burst = 1)
     {
         TraceItem it;
         it.kind = Kind::load;
         it.addr = addr;
         it.size = size;
+        it.burst = burst;
         return it;
     }
 
     static TraceItem
-    storeOf(std::uint64_t addr, std::uint32_t size)
+    storeOf(std::uint64_t addr, std::uint32_t size,
+            std::uint32_t burst = 1)
     {
         TraceItem it;
         it.kind = Kind::store;
         it.addr = addr;
         it.size = size;
+        it.burst = burst;
         return it;
     }
 };

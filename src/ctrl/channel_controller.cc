@@ -58,12 +58,16 @@ ChannelController::capacity() const
 bool
 ChannelController::canAccept(const MemRequest &req) const
 {
+    // Every gang occupies one slot on each of its member modules.
+    std::size_t gang_depth = gangs_.size();
     std::uint64_t words = req.size / geom_.rowBufferBytes;
     for (std::uint64_t i = 0; i < words; ++i) {
         std::uint64_t word = req.addr / geom_.rowBufferBytes + i;
         const ModuleState &mstate = moduleStates_[moduleOfWord(word)];
-        if (mstate.demand.size() >= config_.maxQueuePerModule)
+        if (mstate.demand.size() + gang_depth >=
+            config_.maxQueuePerModule) {
             return false;
+        }
     }
     return true;
 }
@@ -88,7 +92,7 @@ ChannelController::enqueue(const MemRequest &req)
             (unsigned long long)id, (unsigned long long)req.addr,
             words);
     RequestState &rstate = requests_[id];
-    rstate.remainingSubOps = words;
+    rstate.remainingSubOps = 0;
     rstate.isWrite = (req.kind == ReqKind::write);
     rstate.enqueuedAt = curTick();
 
@@ -100,9 +104,27 @@ ChannelController::enqueue(const MemRequest &req)
         stats_.readWords += words;
     }
 
+    const std::uint32_t M = std::uint32_t(modules_.size());
     std::uint64_t first_word = req.addr / geom_.rowBufferBytes;
     for (std::uint32_t i = 0; i < words; ++i) {
         std::uint64_t word = first_word + i;
+
+        // A full channel-width aligned group (every module at the
+        // same module word — the natural shape of a 512-byte channel
+        // piece) becomes one cross-module gang sub-op. The gang
+        // timing model overlaps member array operations, which is
+        // exactly the multi-resource overlap the interleaving knob
+        // grants — without it (Figure 13 bare-metal / selective-
+        // erasing bars), words must run one at a time, so ganging
+        // would inflate those variants and is disabled.
+        if (config_.gangBursts && config_.interleaving && M > 1 &&
+            word % M == 0 && words - i >= M) {
+            enqueueGang(req, rstate, id, word / M, i);
+            ++rstate.remainingSubOps;
+            i += M - 1;
+            continue;
+        }
+        ++rstate.remainingSubOps;
         std::uint32_t m = moduleOfWord(word);
         std::uint64_t mword = moduleWordOf(word);
         ModuleState &mstate = moduleStates_[m];
@@ -140,6 +162,7 @@ ChannelController::enqueue(const MemRequest &req)
             // A queued-but-unstarted zero-fill of the same word is now
             // pointless (and would be a hazard); cancel it.
             cancelUnstartedZeroFill(mstate, mword);
+            cancelUnstartedGangZeroFill(mword);
         } else {
             sub->ops = translateRead(mod, mword);
             if (req.readInto != nullptr) {
@@ -151,6 +174,7 @@ ChannelController::enqueue(const MemRequest &req)
             // later hint-driven zero-fill would destroy live data.
             mstate.doNotZeroFill.insert(mword);
             cancelUnstartedZeroFill(mstate, mword);
+            cancelUnstartedGangZeroFill(mword);
             // Streaming predictor: warm the next sequential rows
             // once the module goes idle (bounded run-ahead).
             mstate.nextPrefetchWord = mword + 1;
@@ -179,17 +203,12 @@ ChannelController::queuedSubOps() const
     std::size_t depth = 0;
     for (const ModuleState &ms : moduleStates_)
         depth += ms.demand.size();
-    return depth;
+    return depth + gangs_.size();
 }
 
 void
-ChannelController::hintFutureWrite(std::uint64_t addr,
-                                   std::uint64_t size)
+ChannelController::hintWords(std::uint64_t first, std::uint64_t last)
 {
-    if (!config_.selectiveErasing || size == 0)
-        return;
-    std::uint64_t first = addr / geom_.rowBufferBytes;
-    std::uint64_t last = (addr + size - 1) / geom_.rowBufferBytes;
     // Split the channel-word range into per-module module-word ranges.
     for (std::uint32_t m = 0; m < modules_.size(); ++m) {
         // Module m holds words w with w % M == m; the covered
@@ -200,6 +219,35 @@ ChannelController::hintFutureWrite(std::uint64_t addr,
                            (last % modules_.size() >= m ? 1 : 0);
         if (hi > lo)
             moduleStates_[m].hints.emplace_back(lo, hi);
+    }
+}
+
+void
+ChannelController::hintFutureWrite(std::uint64_t addr,
+                                   std::uint64_t size)
+{
+    if (!config_.selectiveErasing || size == 0)
+        return;
+    std::uint64_t first = addr / geom_.rowBufferBytes;
+    std::uint64_t last = (addr + size - 1) / geom_.rowBufferBytes;
+    const std::uint64_t M = modules_.size();
+    if (gangEnabled()) {
+        // Full channel-width aligned groups erase as one gang
+        // sub-op each; only the unaligned head and tail fall back to
+        // the per-module queues.
+        std::uint64_t g_lo = (first + M - 1) / M;
+        std::uint64_t g_hi = (last + 1) / M;
+        if (g_hi > g_lo) {
+            gangHints_.emplace_back(g_lo, g_hi);
+            if (g_lo * M > first)
+                hintWords(first, g_lo * M - 1);
+            if (g_hi * M <= last)
+                hintWords(g_hi * M, last);
+        } else {
+            hintWords(first, last);
+        }
+    } else {
+        hintWords(first, last);
     }
     eventQueue().reschedule(&schedulerEvent_, curTick());
 }
@@ -311,6 +359,131 @@ ChannelController::translateWrite(ModuleState &mstate,
     exec.isExecute = true;
     ops.push_back(exec);
     return ops;
+}
+
+std::vector<ChannelController::MicroOp>
+ChannelController::translateGangWrite(const pram::PramModule &mod,
+                                      std::uint64_t module_word) const
+{
+    std::vector<MicroOp> ops;
+    // 1. Operation code: rewritten when any member still needs it
+    // (a redundant rewrite on the others is harmless).
+    bool need_code = false;
+    for (const ModuleState &ms : moduleStates_)
+        if (ms.lastCode != pram::ow::cmdBufferProgram)
+            need_code = true;
+    if (need_code) {
+        std::uint32_t code = pram::ow::cmdBufferProgram;
+        ops.push_back(owWriteOp(mod, pram::ow::codeReg, &code, 4));
+    }
+    // 2. Target row (word) address — identical on every member.
+    std::uint32_t word32 = std::uint32_t(module_word);
+    ops.push_back(owWriteOp(mod, pram::ow::addressReg, &word32, 4));
+    // 3. Burst size via the multi-purpose register.
+    std::uint32_t bytes = geom_.rowBufferBytes;
+    ops.push_back(owWriteOp(mod, pram::ow::multiPurposeReg, &bytes, 4));
+    // 4. Payload into the program buffer: per-member slices of the
+    // gang's data, substituted at issue time.
+    MicroOp payload = owWriteOp(mod, pram::ow::programBufferBase,
+                                ops.back().data.data(),
+                                geom_.rowBufferBytes);
+    payload.isPayload = true;
+    ops.push_back(payload);
+    // 5. Launch via the execute register.
+    std::uint32_t go = 1;
+    MicroOp exec = owWriteOp(mod, pram::ow::executeReg, &go, 4);
+    exec.isExecute = true;
+    ops.push_back(exec);
+    return ops;
+}
+
+void
+ChannelController::enqueueGang(const MemRequest &req,
+                               const RequestState &rstate,
+                               std::uint64_t id, std::uint64_t mword,
+                               std::uint32_t word_off)
+{
+    const std::uint32_t M = std::uint32_t(modules_.size());
+    const std::uint32_t unit = geom_.rowBufferBytes;
+
+    auto sub = std::make_unique<SubOp>();
+    sub->seq = nextSeq_++;
+    sub->reqId = id;
+    sub->module = 0;
+    sub->span = M;
+    sub->isWrite = rstate.isWrite;
+    sub->moduleWord = mword;
+    // All members decompose the same module word identically.
+    sub->targetPartition =
+        modules_.front()
+            ->decomposer()
+            .decompose(mword * unit)
+            .partition;
+
+    ++stats_.gangSubOps;
+    stats_.gangWords += M;
+
+    if (rstate.isWrite) {
+        sub->gangData.resize(std::size_t(M) * unit);
+        if (req.writeFrom != nullptr) {
+            std::memcpy(sub->gangData.data(),
+                        static_cast<const std::uint8_t *>(
+                            req.writeFrom) +
+                            std::uint64_t(word_off) * unit,
+                        sub->gangData.size());
+        } else {
+            // Timing-only writes carry a non-zero pattern so they
+            // are never misclassified as RESET-mimicking zero
+            // programs.
+            std::fill(sub->gangData.begin(), sub->gangData.end(),
+                      std::uint8_t(0xA5));
+        }
+        sub->gangPending =
+            M >= 32 ? ~std::uint32_t(0) : (std::uint32_t(1) << M) - 1;
+        sub->ops = translateGangWrite(*modules_.front(), mword);
+        for (std::uint32_t m = 0; m < M; ++m) {
+            ModuleState &ms = moduleStates_[m];
+            ms.pendingWrites[mword].push_back(sub->seq);
+            ++ms.queuedDemandWrites;
+            ms.doNotZeroFill.insert(mword);
+            cancelUnstartedZeroFill(ms, mword);
+        }
+        cancelUnstartedGangZeroFill(mword);
+    } else {
+        sub->ops = translateRead(*modules_.front(), mword);
+        if (req.readInto != nullptr) {
+            sub->readInto =
+                static_cast<std::uint8_t *>(req.readInto) +
+                std::uint64_t(word_off) * unit;
+        }
+        cancelUnstartedGangZeroFill(mword);
+        for (std::uint32_t m = 0; m < M; ++m) {
+            ModuleState &ms = moduleStates_[m];
+            ms.doNotZeroFill.insert(mword);
+            cancelUnstartedZeroFill(ms, mword);
+            ms.nextPrefetchWord = mword + 1;
+            ms.prefetchLimit =
+                mword + std::max<std::uint32_t>(
+                            2, geom_.numRowBuffers - 1);
+            ms.prefetchSeeded = true;
+        }
+    }
+    gangs_.push_back(std::move(sub));
+}
+
+bool
+ChannelController::gangOrderBlocked(const SubOp &sub) const
+{
+    for (std::uint32_t m = 0; m < sub.span; ++m) {
+        const ModuleState &ms = moduleStates_[m];
+        auto it = ms.pendingWrites.find(sub.moduleWord);
+        if (it == ms.pendingWrites.end())
+            continue;
+        for (std::uint64_t wseq : it->second)
+            if (wseq < sub.seq)
+                return true;
+    }
+    return false;
 }
 
 bool
@@ -650,9 +823,393 @@ ChannelController::issue(ModuleState &mstate, pram::PramModule &mod,
     }
 }
 
+ChannelController::Feasibility
+ChannelController::evaluateGang(const SubOp &sub) const
+{
+    const Tick now = curTick();
+    const MicroOp &op = sub.ops[sub.opIdx];
+    const std::uint32_t M = sub.span;
+    Feasibility f;
+
+    // Writes serialize on every member's overlay-window registers.
+    if (op.isWrite) {
+        for (std::uint32_t m = 0; m < M; ++m) {
+            const SubOp *owner = moduleStates_[m].owSeqOwner;
+            if (owner != nullptr && owner != &sub)
+                return f; // blocked on another sub-op's progress
+        }
+    }
+
+    Phase phase = sub.phase;
+
+    if (phase == Phase::preActive && config_.phaseSkipping) {
+        // Broadcast phases must stay in lockstep, so a skip is taken
+        // only when every member hits at the same level. Members
+        // share their access history (the gang stream touches all of
+        // them identically), so uniform hits are the common case.
+        bool all_rab = true;
+        bool all_rdb = true;
+        for (std::uint32_t m = 0; m < M && all_rab; ++m) {
+            const pram::PramModule &mod = *modules_[m];
+            const ModuleState &ms = moduleStates_[m];
+            bool rab = false;
+            bool rdb = false;
+            for (std::uint32_t b = 0;
+                 b < geom_.numRowBuffers && !rdb; ++b) {
+                if (!mod.rabValid(b) ||
+                    mod.rabUpperRow(b) != op.upperRow ||
+                    mod.rabPartition(b) != op.partition ||
+                    ms.rabBusyUntil[b] > now) {
+                    continue;
+                }
+                rab = true;
+                if (mod.rdbValid(b) && mod.rdbRow(b) == op.row &&
+                    mod.rdbPartition(b) == op.partition &&
+                    mod.rdbReadyAt(b) <= now) {
+                    rdb = true;
+                }
+            }
+            all_rab = all_rab && rab;
+            all_rdb = all_rdb && rdb;
+        }
+        if (all_rab && all_rdb)
+            phase = Phase::readWrite;
+        else if (all_rab)
+            phase = Phase::activate;
+    }
+
+    if (phase == Phase::preActive) {
+        Tick t = std::max({now, phy_.caFreeAt(), sub.phaseReadyAt});
+        for (std::uint32_t m = 0; m < M; ++m) {
+            const ModuleState &ms = moduleStates_[m];
+            Tick rab_free = maxTick;
+            for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b)
+                rab_free = std::min(rab_free, ms.rabBusyUntil[b]);
+            if (rab_free == maxTick)
+                return f; // all claimed; unblocked by other sub-ops
+            t = std::max(t, rab_free);
+        }
+        f.earliest = t;
+        f.ba = -1;
+        f.effectivePhase = Phase::preActive;
+        return f;
+    }
+
+    if (phase == Phase::activate) {
+        Tick t = std::max({now, phy_.caFreeAt(), sub.phaseReadyAt});
+        if (!op.overlayRow) {
+            for (std::uint32_t m = 0; m < M; ++m)
+                t = std::max(
+                    t, modules_[m]->partitionBusyUntil(op.partition));
+        }
+        f.earliest = t;
+        f.ba = -1;
+        f.effectivePhase = Phase::activate;
+        return f;
+    }
+
+    // Read/write phase.
+    Tick t = std::max({now, phy_.caFreeAt(), sub.phaseReadyAt});
+    Tick preamble = op.isWrite ? modules_.front()->timing().writePreamble()
+                               : modules_.front()->timing().readPreamble();
+    Tick dq_free = phy_.dqFreeAt();
+    Tick dq_ok = dq_free > preamble ? dq_free - preamble : 0;
+    t = std::max(t, dq_ok);
+    if (op.isExecute) {
+        for (std::uint32_t m = 0; m < M; ++m) {
+            if (!(sub.gangPending & (std::uint32_t(1) << m)))
+                continue;
+            t = std::max(t, modules_[m]->programSlotFreeAt());
+            t = std::max(t, modules_[m]->partitionBusyUntil(
+                                sub.targetPartition));
+        }
+    }
+    f.earliest = t;
+    f.ba = -1;
+    f.effectivePhase = Phase::readWrite;
+    return f;
+}
+
+void
+ChannelController::issueGang(SubOp &sub, const Feasibility &f)
+{
+    const Tick now = curTick();
+    MicroOp &op = sub.ops[sub.opIdx];
+    const std::uint32_t M = sub.span;
+
+    // CA commands broadcast per member back to back on the shared
+    // bus: one sendCommand per member keeps command counts (and CA
+    // energy) scaled by word count.
+    auto chain_ca = [&](std::uint32_t n) {
+        Tick t = now;
+        for (std::uint32_t i = 0; i < n; ++i)
+            t = phy_.sendCommand(t);
+    };
+    // The LRU free-RAB pick of the single path, per member.
+    auto claim_free_rab = [&](std::uint32_t m) {
+        ModuleState &ms = moduleStates_[m];
+        int ba = -1;
+        Tick oldest = maxTick;
+        for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b) {
+            if (ms.rabBusyUntil[b] > now)
+                continue;
+            if (ms.rabLastUse[b] < oldest) {
+                oldest = ms.rabLastUse[b];
+                ba = int(b);
+            }
+        }
+        panic_if(ba < 0, "gang issue without a free RAB");
+        ms.rabBusyUntil[std::uint32_t(ba)] = maxTick; // claimed
+        ms.rabLastUse[std::uint32_t(ba)] = now;
+        return ba;
+    };
+    // Re-derive the member's hitting RAB after a phase skip (state
+    // cannot change between evaluate and issue inside one pass).
+    auto claim_hit_rab = [&](std::uint32_t m) {
+        const pram::PramModule &mod = *modules_[m];
+        ModuleState &ms = moduleStates_[m];
+        for (std::uint32_t b = 0; b < geom_.numRowBuffers; ++b) {
+            if (mod.rabValid(b) && mod.rabUpperRow(b) == op.upperRow &&
+                mod.rabPartition(b) == op.partition &&
+                ms.rabBusyUntil[b] <= now) {
+                ms.rabBusyUntil[b] = maxTick;
+                ms.rabLastUse[b] = now;
+                return int(b);
+            }
+        }
+        panic("gang phase skip without a RAB hit");
+        return -1; // unreachable
+    };
+
+    if (!sub.started) {
+        sub.started = true;
+        sub.gangBa.assign(M, -1);
+        for (std::uint32_t m = 0; m < M; ++m)
+            ++moduleStates_[m].inFlight;
+    }
+    if (op.isWrite) {
+        for (std::uint32_t m = 0; m < M; ++m) {
+            if (moduleStates_[m].owSeqOwner == nullptr)
+                moduleStates_[m].owSeqOwner = &sub;
+        }
+    }
+
+    switch (f.effectivePhase) {
+      case Phase::preActive: {
+        DPRINTF("Ctrl", "gang %s mword=%llu span=%u pre-active",
+                sub.isWrite ? "wr" : "rd",
+                (unsigned long long)sub.moduleWord, M);
+        Tick ready = 0;
+        for (std::uint32_t m = 0; m < M; ++m) {
+            int ba = claim_free_rab(m);
+            sub.gangBa[m] = ba;
+            ready = std::max(
+                ready, modules_[m]->preActive(std::uint32_t(ba),
+                                              op.upperRow,
+                                              op.partition));
+        }
+        chain_ca(M);
+        sub.phaseReadyAt = ready;
+        if (auto *t = trace::current()) {
+            t->complete(trace::catCtrl, name_, "phase.preActive", now,
+                        sub.phaseReadyAt);
+        }
+        sub.phase = Phase::activate;
+        return;
+      }
+      case Phase::activate: {
+        if (sub.phase == Phase::preActive) {
+            // Every member skipped the pre-active on a RAB hit.
+            stats_.preActivesSkipped += M;
+            for (std::uint32_t m = 0; m < M; ++m)
+                sub.gangBa[m] = claim_hit_rab(m);
+        }
+        Tick ready = 0;
+        for (std::uint32_t m = 0; m < M; ++m) {
+            ready = std::max(
+                ready,
+                modules_[m]->activate(std::uint32_t(sub.gangBa[m]),
+                                      op.lowerRow));
+        }
+        chain_ca(M);
+        sub.phaseReadyAt = ready;
+        if (auto *t = trace::current()) {
+            t->complete(trace::catCtrl, name_, "phase.activate", now,
+                        sub.phaseReadyAt);
+        }
+        sub.phase = Phase::readWrite;
+        return;
+      }
+      case Phase::readWrite:
+        break;
+    }
+
+    if (sub.phase == Phase::preActive) {
+        // Every member skipped both phases on a full RDB hit.
+        stats_.preActivesSkipped += M;
+        stats_.activatesSkipped += M;
+        for (std::uint32_t m = 0; m < M; ++m)
+            sub.gangBa[m] = claim_hit_rab(m);
+        sub.phaseReadyAt = now;
+    }
+
+    // Data transfer: every member performs its own word's burst (so
+    // per-word fault injection, wear and program-and-verify stay
+    // intact) while the shared DQ bus serializes the beats — the
+    // gang's occupancy is one burst window per member.
+    bool was_execute = op.isExecute;
+    std::uint32_t n_members = 0;
+    Tick first_data = maxTick;
+    Tick window = 0;
+    for (std::uint32_t m = 0; m < M; ++m) {
+        if (was_execute && !(sub.gangPending & (std::uint32_t(1) << m)))
+            continue; // verified members skip the re-pulse
+        pram::BurstTiming bt;
+        if (op.isWrite) {
+            const std::uint8_t *src =
+                op.isPayload
+                    ? sub.gangData.data() + std::size_t(m) *
+                                                geom_.rowBufferBytes
+                    : op.data.data();
+            bt = modules_[m]->writeBurst(
+                std::uint32_t(sub.gangBa[m]), op.column, op.len, src);
+        } else {
+            void *dst = sub.readInto == nullptr
+                            ? nullptr
+                            : static_cast<std::uint8_t *>(
+                                  sub.readInto) +
+                                  std::size_t(m) * geom_.rowBufferBytes;
+            bt = modules_[m]->readBurst(std::uint32_t(sub.gangBa[m]),
+                                        op.column, op.len, dst);
+        }
+        ++n_members;
+        first_data = std::min(first_data, bt.firstData);
+        window = std::max(window, bt.lastData - bt.firstData);
+    }
+    panic_if(n_members == 0, "gang data phase with no members");
+    chain_ca(n_members);
+    Tick serialized_end = first_data + Tick(n_members) * window;
+    phy_.reserveDq(first_data, serialized_end);
+    if (auto *t = trace::current()) {
+        t->complete(trace::catCtrl, name_,
+                    op.isWrite ? "phase.write" : "phase.read", now,
+                    serialized_end);
+    }
+    for (std::uint32_t m = 0; m < M; ++m) {
+        ModuleState &ms = moduleStates_[m];
+        ms.rabBusyUntil[std::uint32_t(sub.gangBa[m])] = serialized_end;
+        ms.rabLastUse[std::uint32_t(sub.gangBa[m])] = now;
+    }
+
+    ++sub.opIdx;
+    std::fill(sub.gangBa.begin(), sub.gangBa.end(), -1);
+    sub.phase = Phase::preActive;
+    sub.phaseReadyAt = now;
+
+    if (sub.opIdx < sub.ops.size())
+        return; // sequence continues
+
+    if (sub.isWrite) {
+        panic_if(!was_execute, "write sequence ended without execute");
+        // Per-member program-and-verify: each module rolled its own
+        // fault decision; only failing members replay the execute.
+        Tick durable = 0;
+        std::uint32_t fail_mask = 0;
+        for (std::uint32_t m = 0; m < M; ++m) {
+            if (!(sub.gangPending & (std::uint32_t(1) << m)))
+                continue;
+            durable = std::max(durable,
+                               modules_[m]->lastProgramEnd());
+            if (faults_ && modules_[m]->lastProgramVerifyFailed())
+                fail_mask |= std::uint32_t(1) << m;
+        }
+        std::uint32_t n_failed =
+            std::uint32_t(__builtin_popcount(fail_mask));
+        if (sub.isZeroFill) {
+            // Pre-RESET programs drop on verify failure instead of
+            // retrying — the word simply stays non-pristine — and
+            // complete no request.
+            stats_.zeroFillPrograms += M;
+            stats_.zeroFillVerifyDrops += n_failed;
+            DPRINTF("Ctrl",
+                    "gang zero-fill mword=%llu span=%u durable@%llu",
+                    (unsigned long long)sub.moduleWord, M,
+                    (unsigned long long)durable);
+            for (std::uint32_t m = 0; m < M; ++m) {
+                ModuleState &ms = moduleStates_[m];
+                --ms.inFlight;
+                if (ms.owSeqOwner == &sub)
+                    ms.owSeqOwner = nullptr;
+                ms.lastCode = pram::ow::cmdBufferProgram;
+            }
+            for (auto it = gangZeroFills_.begin();
+                 it != gangZeroFills_.end(); ++it) {
+                if (it->get() == &sub) {
+                    gangZeroFills_.erase(it);
+                    break;
+                }
+            }
+            return;
+        }
+        if (fail_mask != 0 &&
+            sub.retries < relCfg_.maxProgramRetries) {
+            ++sub.retries;
+            stats_.verifyRetries += n_failed;
+            sub.gangPending = fail_mask;
+            --sub.opIdx;
+            sub.phase = Phase::preActive;
+            sub.phaseReadyAt = durable + relCfg_.verifyCost;
+            if (auto *t = trace::current()) {
+                t->instant(trace::catCtrl, name_, "verify.retry",
+                           durable);
+                t->counter(trace::catCtrl, name_, "verifyRetries",
+                           durable, double(stats_.verifyRetries));
+            }
+            return;
+        }
+        int fail_module = -1;
+        if (fail_mask != 0) {
+            stats_.verifyFailedWrites += n_failed;
+            fail_module = __builtin_ctz(fail_mask);
+            if (auto *t = trace::current()) {
+                t->instant(trace::catCtrl, name_, "verify.exhausted",
+                           durable);
+            }
+        }
+        for (std::uint32_t m = 0; m < M; ++m) {
+            ModuleState &ms = moduleStates_[m];
+            --ms.inFlight;
+            if (ms.owSeqOwner == &sub)
+                ms.owSeqOwner = nullptr;
+            ms.lastCode = pram::ow::cmdBufferProgram;
+            panic_if(ms.queuedDemandWrites == 0,
+                     "demand write counter underflow");
+            --ms.queuedDemandWrites;
+            auto &seqs = ms.pendingWrites[sub.moduleWord];
+            seqs.erase(
+                std::remove(seqs.begin(), seqs.end(), sub.seq),
+                seqs.end());
+            if (seqs.empty())
+                ms.pendingWrites.erase(sub.moduleWord);
+        }
+        finishSubOp(sub, durable, fail_mask != 0, fail_module);
+    } else {
+        for (std::uint32_t m = 0; m < M; ++m)
+            --moduleStates_[m].inFlight;
+        finishSubOp(sub, serialized_end);
+    }
+
+    for (auto it = gangs_.begin(); it != gangs_.end(); ++it) {
+        if (it->get() == &sub) {
+            gangs_.erase(it);
+            break;
+        }
+    }
+}
+
 void
 ChannelController::finishSubOp(const SubOp &sub, Tick when,
-                               bool failed)
+                               bool failed, int fail_module)
 {
     auto it = requests_.find(sub.reqId);
     panic_if(it == requests_.end(), "sub-op of unknown request");
@@ -660,9 +1217,12 @@ ChannelController::finishSubOp(const SubOp &sub, Tick when,
     panic_if(rstate.remainingSubOps == 0, "request over-completed");
     rstate.latestCompletion = std::max(rstate.latestCompletion, when);
     if (failed && !rstate.failed) {
+        std::uint32_t mod_idx = fail_module >= 0
+                                    ? std::uint32_t(fail_module)
+                                    : sub.module;
         rstate.failed = true;
         rstate.failedAddr =
-            (sub.moduleWord * modules_.size() + sub.module) *
+            (sub.moduleWord * modules_.size() + mod_idx) *
             geom_.rowBufferBytes;
     }
     if (--rstate.remainingSubOps == 0)
@@ -807,6 +1367,84 @@ ChannelController::materializeZeroFill(std::uint32_t m)
 }
 
 void
+ChannelController::materializeGangZeroFill()
+{
+    const std::uint32_t M = std::uint32_t(modules_.size());
+    const std::uint32_t unit = geom_.rowBufferBytes;
+    const std::uint32_t full =
+        M >= 32 ? ~std::uint32_t(0) : (std::uint32_t(1) << M) - 1;
+    // Each ganged zero-fill occupies one program slot on every
+    // member, so the deque bound mirrors the per-module bound of the
+    // singleton path.
+    while (!gangHints_.empty() &&
+           gangZeroFills_.size() < geom_.programSlots) {
+        auto &range = gangHints_.front();
+        if (range.first >= range.second) {
+            gangHints_.pop_front();
+            continue;
+        }
+        std::uint64_t w = range.first++;
+        // Per-word decisions stay per word: each member checks its
+        // own do-not-erase set and array state.
+        std::uint32_t mask = 0;
+        for (std::uint32_t m = 0; m < M; ++m) {
+            if (moduleStates_[m].doNotZeroFill.count(w) ||
+                modules_[m]->wordIsPristine(w)) {
+                ++stats_.zeroFillSkipped;
+            } else {
+                mask |= std::uint32_t(1) << m;
+            }
+        }
+        if (mask != full) {
+            // Partial group: members still worth erasing go through
+            // the singleton path.
+            for (std::uint32_t m = 0; m < M; ++m)
+                if (mask & (std::uint32_t(1) << m))
+                    moduleStates_[m].hints.emplace_back(w, w + 1);
+            continue;
+        }
+        auto sub = std::make_unique<SubOp>();
+        sub->seq = nextSeq_++;
+        sub->reqId = 0;
+        sub->module = 0;
+        sub->span = M;
+        sub->isWrite = true;
+        sub->isZeroFill = true;
+        sub->moduleWord = w;
+        sub->targetPartition = modules_.front()
+                                   ->decomposer()
+                                   .decompose(std::uint64_t(w) * unit)
+                                   .partition;
+        sub->gangData.assign(std::size_t(M) * unit, 0);
+        sub->gangPending = full;
+        sub->ops = translateGangWrite(*modules_.front(), w);
+        ++stats_.gangSubOps;
+        stats_.gangWords += M;
+        gangZeroFills_.push_back(std::move(sub));
+    }
+}
+
+void
+ChannelController::cancelUnstartedGangZeroFill(std::uint64_t mword)
+{
+    for (auto it = gangZeroFills_.begin();
+         it != gangZeroFills_.end();) {
+        SubOp &zf = **it;
+        if (zf.started || zf.moduleWord != mword) {
+            ++it;
+            continue;
+        }
+        // Members not covered by the canceling demand access may
+        // still benefit; re-hint them for the singleton path.
+        for (std::uint32_t m = 0; m < zf.span; ++m)
+            if (!moduleStates_[m].doNotZeroFill.count(mword))
+                moduleStates_[m].hints.emplace_back(mword, mword + 1);
+        ++stats_.zeroFillSkipped;
+        it = gangZeroFills_.erase(it);
+    }
+}
+
+void
 ChannelController::schedule()
 {
     if (inSchedule_)
@@ -846,6 +1484,94 @@ ChannelController::schedule()
                                          ms.demand.front()->seq);
                 }
             }
+            if (!gangs_.empty())
+                fifo_head =
+                    std::min(fifo_head, gangs_.front()->seq);
+        }
+
+        // Cross-module gangs scan ahead of the per-module queues: a
+        // gang issue touches every module, so progress restarts the
+        // pass from module 0.
+        std::uint32_t gscanned = 0;
+        for (auto &gptr : gangs_) {
+            SubOp &g = *gptr;
+            if (!config_.interleaving && g.seq != fifo_head)
+                break; // strict FIFO across the channel
+            if (++gscanned > schedLookahead)
+                break;
+            if (!g.started) {
+                bool rb_full = false;
+                for (std::uint32_t gm = 0; gm < g.span; ++gm) {
+                    if (moduleStates_[gm].inFlight >=
+                        geom_.numRowBuffers) {
+                        rb_full = true;
+                        break;
+                    }
+                }
+                if (rb_full)
+                    continue;
+                if (gangOrderBlocked(g))
+                    continue;
+            }
+            Feasibility f = evaluateGang(g);
+            if (f.earliest == maxTick)
+                continue;
+            if (f.earliest <= now) {
+                issueGang(g, f); // may erase g from gangs_
+                progress = true;
+                break;
+            }
+            next_wake = std::min(next_wake, f.earliest);
+        }
+
+        // Ganged zero-fills follow the singleton yield discipline —
+        // speculative erases give way to demand writes — but cover a
+        // full channel-width group per sub-op. Like demand gangs,
+        // progress touches every module and restarts the pass.
+        if (config_.selectiveErasing && gangEnabled() && !progress) {
+            bool demand_writes = false;
+            for (const ModuleState &ms : moduleStates_) {
+                if (ms.queuedDemandWrites != 0) {
+                    demand_writes = true;
+                    break;
+                }
+            }
+            if (!demand_writes && gangs_.empty() &&
+                !gangHints_.empty()) {
+                materializeGangZeroFill();
+            }
+            for (auto &zfptr : gangZeroFills_) {
+                SubOp &zf = *zfptr;
+                if (!zf.started) {
+                    if (demand_writes || !gangs_.empty())
+                        continue;
+                    bool rb_full = false;
+                    for (std::uint32_t gm = 0; gm < zf.span; ++gm) {
+                        if (moduleStates_[gm].inFlight >=
+                            geom_.numRowBuffers) {
+                            rb_full = true;
+                            break;
+                        }
+                    }
+                    if (rb_full)
+                        continue;
+                }
+                Feasibility f = evaluateGang(zf);
+                if (f.earliest == maxTick)
+                    continue;
+                if (f.earliest <= now) {
+                    issueGang(zf, f); // may erase zf
+                    progress = true;
+                    break;
+                }
+                next_wake = std::min(next_wake, f.earliest);
+            }
+        }
+
+        if (progress) {
+            start = 0;
+            scan_end = std::uint32_t(modules_.size());
+            continue;
         }
 
         std::uint32_t m = start;
@@ -866,6 +1592,13 @@ ChannelController::schedule()
                 }
                 if (!sub.isWrite && readBlocked(mstate, sub))
                     continue;
+                // Strict per-word write ordering: an unstarted write
+                // waits for any older queued write to the same word
+                // (gang or singleton) so the younger data lands last.
+                if (sub.isWrite && !sub.started &&
+                    readBlocked(mstate, sub)) {
+                    continue;
+                }
                 Feasibility f = evaluate(mstate, mod, sub);
                 if (f.earliest == maxTick)
                     continue;
@@ -887,7 +1620,8 @@ ChannelController::schedule()
             // owns the overlay-window registers demand writes need.
             // Speculative RDB warming runs only on an idle module
             // and stops after the activate phase.
-            if (config_.rdbPrefetch && mstate.demand.empty()) {
+            if (config_.rdbPrefetch && mstate.demand.empty() &&
+                gangs_.empty()) {
                 materializePrefetch(m);
                 if (mstate.prefetch) {
                     SubOp &pf = *mstate.prefetch;

@@ -55,6 +55,10 @@ struct ControllerStats
     std::uint64_t zeroFillSkipped = 0;
     /** Speculative row activations issued by the RDB prefetcher. */
     std::uint64_t prefetchActivates = 0;
+    /** Cross-module gang sub-ops serviced (burst batching). */
+    std::uint64_t gangSubOps = 0;
+    /** Words carried by gang sub-ops. */
+    std::uint64_t gangWords = 0;
     /** Program-and-verify re-pulses after a failed verify. */
     std::uint64_t verifyRetries = 0;
     /** Demand writes that exhausted every verify retry. */
@@ -178,6 +182,9 @@ class ChannelController : public Clocked
         bool overlayRow = false;
         /** Write of the execute register: launches the program. */
         bool isExecute = false;
+        /** Program-buffer payload op of a gang write: the data comes
+         *  from the gang's per-member slices, not @c data. */
+        bool isPayload = false;
         std::array<std::uint8_t, 32> data{};
     };
 
@@ -210,10 +217,26 @@ class ChannelController : public Clocked
         /** Earliest tick the current phase may issue. */
         Tick phaseReadyAt = 0;
         bool started = false;
-        /** Destination for functional read data. */
+        /** Destination for functional read data (gangs: member 0's
+         *  slice; member m reads into readInto + m * 32). */
         void *readInto = nullptr;
-        /** Program-and-verify re-pulses consumed so far. */
+        /** Program-and-verify re-pulses consumed so far (gangs: one
+         *  per re-pulse round; stats count per failing word). */
         std::uint32_t retries = 0;
+
+        /** @name Gang state (cross-module burst sub-ops) @{ */
+        /** Modules covered, starting at module 0 (1 = single). */
+        std::uint32_t span = 1;
+        /** Per-member RAB claims while a phase is in flight. */
+        std::vector<int> gangBa;
+        /** Members whose program has not yet verified (bitmask;
+         *  verify re-pulses replay only these). */
+        std::uint32_t gangPending = 0;
+        /** Per-member 32 B payload slices for gang writes. */
+        std::vector<std::uint8_t> gangData;
+        /** @} */
+
+        bool isGang() const { return span > 1; }
     };
 
     /** Demand request bookkeeping. */
@@ -319,6 +342,33 @@ class ChannelController : public Clocked
     void issue(ModuleState &mstate, pram::PramModule &mod, SubOp &sub,
                const Feasibility &f);
 
+    /** Build and queue one gang sub-op of request @p id covering
+     *  module word @p mword on every module; @p word_off is the
+     *  group's word offset inside the request (data/readInto
+     *  slicing). */
+    void enqueueGang(const MemRequest &req, const RequestState &rstate,
+                     std::uint64_t id, std::uint64_t mword,
+                     std::uint32_t word_off);
+
+    /** Translator: expand a gang program sequence (code register
+     *  rewritten when any member needs it; the payload op pulls from
+     *  the gang's per-member slices). */
+    std::vector<MicroOp> translateGangWrite(
+        const pram::PramModule &mod, std::uint64_t module_word) const;
+
+    /** Evaluate when gang @p sub's next broadcast action could
+     *  issue (all members must be able to act together). */
+    Feasibility evaluateGang(const SubOp &sub) const;
+
+    /** Issue gang @p sub's next broadcast action now. Completion
+     *  removes the gang from the queue. */
+    void issueGang(SubOp &sub, const Feasibility &f);
+
+    /** @return true when any member of gang @p sub has an older
+     *  queued write to its word (read-after-write hazard for reads,
+     *  strict per-word write ordering for writes). */
+    bool gangOrderBlocked(const SubOp &sub) const;
+
     /** Run the scheduler until no action can issue at curTick. */
     void schedule();
 
@@ -330,13 +380,38 @@ class ChannelController : public Clocked
     void cancelUnstartedZeroFill(ModuleState &mstate,
                                  std::uint64_t mword);
 
+    /** @return true when cross-module gangs may form (the gang
+     *  timing model needs the interleaving overlap). */
+    bool
+    gangEnabled() const
+    {
+        return config_.gangBursts && config_.interleaving &&
+               modules_.size() > 1;
+    }
+
+    /** Split hint channel words [@p first, @p last] (inclusive) into
+     *  the per-module hint queues. */
+    void hintWords(std::uint64_t first, std::uint64_t last);
+
+    /** Materialize ganged zero-fill sub-ops from the channel-level
+     *  hint queue up to the program-slot bound. Groups whose members
+     *  no longer all need erasing fall back to singleton hints. */
+    void materializeGangZeroFill();
+
+    /** Drop not-yet-started ganged zero-fills of @p mword; members
+     *  still worth erasing are re-hinted as singletons. */
+    void cancelUnstartedGangZeroFill(std::uint64_t mword);
+
     /** Materialize a speculative RDB-warming sub-op for module
      *  @p m when the prefetcher is enabled and idle. */
     void materializePrefetch(std::uint32_t m);
 
     /** Record that sub-op @p sub finishes at @p when; @p failed marks
-     *  a write whose program exhausted every verify retry. */
-    void finishSubOp(const SubOp &sub, Tick when, bool failed = false);
+     *  a write whose program exhausted every verify retry.
+     *  @p fail_module names the failing member for gangs (< 0: use
+     *  sub.module). */
+    void finishSubOp(const SubOp &sub, Tick when, bool failed = false,
+                     int fail_module = -1);
 
     /** Completion event machinery. */
     void completionTrigger();
@@ -352,6 +427,17 @@ class ChannelController : public Clocked
     PramPhy phy_;
     std::vector<std::unique_ptr<pram::PramModule>> modules_;
     std::vector<ModuleState> moduleStates_;
+    /** Cross-module gang sub-ops (full channel-width bursts), in
+     *  arrival order. Per-module ordering against the demand queues
+     *  is enforced through pendingWrites / readBlocked, as between
+     *  the per-module queues themselves. */
+    std::deque<std::unique_ptr<SubOp>> gangs_;
+    /** Hinted module-word ranges awaiting ganged zero-fill: every
+     *  member of such a group was hinted as a future write target. */
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> gangHints_;
+    /** Materialized ganged zero-fill sub-ops (speculative; yield to
+     *  demand traffic exactly like the singleton zero-fills). */
+    std::deque<std::unique_ptr<SubOp>> gangZeroFills_;
     std::unordered_map<std::uint64_t, RequestState> requests_;
     std::map<Tick, std::vector<std::uint64_t>> completions_;
     CompletionCallback callback_;

@@ -35,6 +35,14 @@ struct MemRequest
     /** Optional functional read destination / write source. */
     void *readInto = nullptr;
     const void *writeFrom = nullptr;
+
+    /** @return burst length in @p unit byte words (the controller's
+     *  32 B access unit): the request covers this many words. */
+    std::uint32_t
+    burstWords(std::uint32_t unit) const
+    {
+        return unit == 0 ? 0 : size / unit;
+    }
 };
 
 /** Completion notice for a MemRequest. */

@@ -64,6 +64,11 @@ writeRun(json::JsonWriter &w, const systems::RunResult &r,
     w.keyValue("bandwidth_mbps", r.bandwidthMBps);
     w.keyValue("total_instructions", r.totalInstructions);
     w.keyValue("bytes_processed", r.bytesProcessed);
+    w.keyValue("events_processed", r.eventsProcessed);
+    // Failed rows (continue-on-error sweeps) must be visible in the
+    // export, never mistaken for an all-zero run.
+    if (r.failed())
+        w.keyValue("error", r.error);
 
     w.key("reliability").beginObject();
     w.keyValue("verify_retries", r.reliability.verifyRetries);
@@ -132,6 +137,7 @@ ResultSink::writeCsv(std::ostream &os) const
     os << "system,workload,exec_time_ticks,host_stack_ticks,"
           "transfer_ticks,storage_stall_ticks,compute_ticks,"
           "bandwidth_mbps,total_instructions,bytes_processed,"
+          "events_processed,"
           "energy_host_stack_j,energy_pcie_j,energy_accel_cores_j,"
           "energy_dram_j,energy_storage_media_j,energy_controller_j,"
           "energy_total_j,ipc_mean,core_power_mean_w,"
@@ -145,6 +151,7 @@ ResultSink::writeCsv(std::ostream &os) const
            << r.storageStallTime << ',' << r.computeTime << ','
            << json::number(r.bandwidthMBps) << ','
            << r.totalInstructions << ',' << r.bytesProcessed << ','
+           << r.eventsProcessed << ','
            << json::number(r.energy.hostStack) << ','
            << json::number(r.energy.pcie) << ','
            << json::number(r.energy.accelCores) << ','

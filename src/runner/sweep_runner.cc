@@ -107,22 +107,32 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
         for (;;) {
             std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size() ||
-                failed.load(std::memory_order_relaxed)) {
+            if (i >= jobs.size())
                 return;
-            }
             try {
                 JobTraceScope traceScope(jobs[i].system,
                                          jobs[i].workload);
                 results[i] = jobs[i].run();
             } catch (const std::exception &e) {
+                // The job keeps its slot: labels stay valid, the
+                // error message marks the row, and the pool moves on
+                // so sibling jobs never lose their results or their
+                // index in the matrix.
+                results[i].system = jobs[i].system;
+                results[i].workload = jobs[i].workload;
+                results[i].error =
+                    e.what() != nullptr && *e.what() != '\0'
+                        ? e.what()
+                        : "unknown std::exception";
                 std::lock_guard<std::mutex> lock(progressMutex);
-                failed.store(true, std::memory_order_relaxed);
-                failMessage = csprintf(
-                    "sweep job '%s/%s' failed: %s",
-                    jobs[i].system.c_str(), jobs[i].workload.c_str(),
-                    e.what());
-                return;
+                if (!failed.exchange(true,
+                                     std::memory_order_relaxed)) {
+                    failMessage = csprintf(
+                        "sweep job '%s/%s' failed: %s",
+                        jobs[i].system.c_str(),
+                        jobs[i].workload.c_str(),
+                        results[i].error.c_str());
+                }
             }
             std::size_t d =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -146,7 +156,9 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
             t.join();
     }
 
-    if (failed.load(std::memory_order_relaxed))
+    // Default policy: a partially-failed matrix must never be
+    // silently exported — results feed golden files and figures.
+    if (failed.load(std::memory_order_relaxed) && !continueOnError_)
         fatal("%s", failMessage.c_str());
     return results;
 }

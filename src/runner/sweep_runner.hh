@@ -98,20 +98,40 @@ class SweepRunner
     /**
      * Run every job and return results in job order. Jobs are handed
      * to workers in index order; with one worker this degenerates to
-     * a plain serial loop on the calling thread. A job that throws
-     * std::exception aborts the sweep via fatal(): results feed
-     * golden-file comparisons, so a partially-failed matrix must
-     * never be silently exported.
+     * a plain serial loop on the calling thread.
+     *
+     * A job that throws std::exception never loses its result slot
+     * or skews the matrix indexing: the exception is caught on the
+     * worker, the job's row keeps its labels, and the message lands
+     * in RunResult::error while the remaining jobs run to
+     * completion. After the pool drains, any failed row aborts via
+     * fatal() by default — results feed golden-file comparisons, so
+     * a partially-failed matrix must never be silently exported.
+     * Call setContinueOnError(true) to instead get the full result
+     * vector back with failures marked (callers must then check
+     * RunResult::failed() before exporting).
      *
      * @param progress optional completion callback, invoked from
-     *        worker threads under an internal mutex (safe to print).
+     *        worker threads under an internal mutex (safe to print);
+     *        failed jobs still count toward @c done.
      */
     std::vector<systems::RunResult>
     run(const std::vector<SweepJob> &jobs,
         const Progress &progress = nullptr) const;
 
+    /**
+     * Keep the sweep alive past job failures: when set, run()
+     * returns every row (failed ones flagged via RunResult::failed())
+     * instead of fatal()ing on the first recorded failure.
+     */
+    void setContinueOnError(bool keep) { continueOnError_ = keep; }
+
+    /** @return whether failed jobs abort the sweep (default) or not. */
+    bool continueOnError() const { return continueOnError_; }
+
   private:
     unsigned numWorkers_;
+    bool continueOnError_ = false;
 };
 
 /**

@@ -174,6 +174,10 @@ cumulativeEnergySeries(const stats::TimeSeries &core_power,
         return cum;
     // Integrate the core power, then spread the non-core remainder
     // uniformly so the final point equals the run's total energy.
+    // The integration must cover the full [start, end] window: the
+    // stretch from the last power sample to the run's end still burns
+    // the last sampled wattage, and dropping it used to leave the
+    // series short of the run total.
     double core_total = 0.0;
     {
         Tick prev = start;
@@ -183,6 +187,8 @@ cumulativeEnergySeries(const stats::TimeSeries &core_power,
             prev = pt.when;
             prev_w = pt.value;
         }
+        if (prev < end)
+            core_total += prev_w * toSec(end - prev);
     }
     double non_core = std::max(0.0, total_joules - core_total);
     double acc = 0.0;
@@ -194,6 +200,10 @@ cumulativeEnergySeries(const stats::TimeSeries &core_power,
         cum.record(pt.when, acc + non_core * std::min(1.0, frac));
         prev = pt.when;
         prev_w = pt.value;
+    }
+    if (prev < end) {
+        acc += prev_w * toSec(end - prev);
+        cum.record(end, acc + non_core);
     }
     return cum;
 }

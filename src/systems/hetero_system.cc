@@ -10,6 +10,7 @@
 #include "sim/event_pool.hh"
 #include "systems/backends.hh"
 #include "systems/energy_accounting.hh"
+#include "workload/coalesce.hh"
 #include "workload/workload_model.hh"
 
 namespace dramless
@@ -171,7 +172,9 @@ HeteroSystem::doRun(const workload::WorkloadModel &model)
                     tp.agentIndex = i;
                     tp.numAgents = agents;
                     tp.seed = opts_.seed + chunk;
-                    traces[i] = chunk_model->makeAgentTrace(tp);
+                    traces[i] = workload::wrapCoalescing(
+                        chunk_model->makeAgentTrace(tp),
+                        opts_.coalesceBytes);
                     launch.agentTraces.push_back(traces[i].get());
                 }
                 if (!ipc_all.empty() || chunk > 0) {

@@ -10,6 +10,7 @@
 #include "host/software_stack.hh"
 #include "systems/backends.hh"
 #include "systems/energy_accounting.hh"
+#include "workload/coalesce.hh"
 #include "workload/workload_model.hh"
 
 namespace dramless
@@ -242,7 +243,8 @@ IntegratedSystem::doRun(const workload::WorkloadModel &model)
         tp.agentIndex = i;
         tp.numAgents = agents;
         tp.seed = opts_.seed;
-        traces.push_back(model.makeAgentTrace(tp));
+        traces.push_back(workload::wrapCoalescing(
+            model.makeAgentTrace(tp), opts_.coalesceBytes));
         launch.agentTraces.push_back(traces.back().get());
         launch.outputRegions.push_back(
             traces.back()->outputRegion());

@@ -86,6 +86,17 @@ struct RunResult
     /** Fault-injection outcome (zeros when disabled). */
     ReliabilityOutcome reliability;
 
+    /**
+     * Non-empty when the run aborted with an exception: the message
+     * of the error that killed it. A failed row keeps its matrix
+     * slot (labels stay valid) but every metric above is
+     * meaningless and must not feed goldens or figures.
+     */
+    std::string error;
+
+    /** @return true when this row records a failed run. */
+    bool failed() const { return !error.empty(); }
+
     /** @return this run's bandwidth normalized to @p baseline. */
     double
     speedupOver(const RunResult &baseline) const

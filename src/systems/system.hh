@@ -61,6 +61,13 @@ struct SystemOptions
     std::uint64_t gapMovePeriod = 100;
     /** Fault injection / endurance knobs (default: disabled). */
     reliability::ReliabilityConfig reliability{};
+    /**
+     * Maximum burst (bytes) the trace coalescing layer may merge
+     * contiguous same-kind 32B word accesses into before they enter
+     * the event kernel. Values at or below one word (<= 32) disable
+     * coalescing and restore per-word issue.
+     */
+    std::uint32_t coalesceBytes = 512;
 };
 
 /**

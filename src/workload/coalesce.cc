@@ -1,0 +1,179 @@
+#include "workload/coalesce.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+CoalescingTraceSource::CoalescingTraceSource(
+    std::unique_ptr<AgentTraceSource> inner,
+    std::uint32_t maxBurstBytes, std::uint32_t ways)
+    : inner_(std::move(inner)), maxBurstBytes_(maxBurstBytes)
+{
+    fatal_if(inner_ == nullptr, "coalescer: null inner source");
+    fatal_if(maxBurstBytes_ == 0 || ways == 0,
+             "coalescer: zero burst size or way count");
+    ways_.resize(std::max<std::uint32_t>(1, ways));
+}
+
+bool
+CoalescingTraceSource::extends(const Run &r,
+                               const accel::TraceItem &it) const
+{
+    if (!r.open() || it.kind != r.kind || it.size != r.wordBytes)
+        return false;
+    if (it.addr != r.end())
+        return false;
+    // Never grow across a maxBurst-aligned boundary: downstream
+    // block/stripe consumers then see naturally aligned bursts, and
+    // run length is implicitly capped at maxBurstBytes.
+    return it.addr / maxBurstBytes_ == r.base / maxBurstBytes_;
+}
+
+void
+CoalescingTraceSource::flushCompute()
+{
+    if (pendingInstructions_ == 0)
+        return;
+    ready_.push_back(
+        accel::TraceItem::computeOf(pendingInstructions_));
+    pendingInstructions_ = 0;
+    ++stats_.computeOut;
+}
+
+void
+CoalescingTraceSource::flushRun(Run &r)
+{
+    if (!r.open())
+        return;
+    // Compute accumulated ahead of this run issues first so the
+    // burst's words stay behind the work that preceded them.
+    flushCompute();
+    accel::TraceItem it = r.kind == accel::TraceItem::Kind::load
+        ? accel::TraceItem::loadOf(r.base, r.wordBytes, r.words)
+        : accel::TraceItem::storeOf(r.base, r.wordBytes, r.words);
+    ready_.push_back(it);
+    ++stats_.burstsOut;
+    r.words = 0;
+}
+
+void
+CoalescingTraceSource::flushAll()
+{
+    std::vector<Run *> open;
+    for (Run &r : ways_)
+        if (r.open())
+            open.push_back(&r);
+    std::sort(open.begin(), open.end(),
+              [](const Run *a, const Run *b) {
+                  return a->lastTouch < b->lastTouch;
+              });
+    for (Run *r : open)
+        flushRun(*r);
+    flushCompute();
+}
+
+void
+CoalescingTraceSource::fill()
+{
+    accel::TraceItem it;
+    while (ready_.empty() && !innerDone_) {
+        if (!inner_->next(it)) {
+            innerDone_ = true;
+            flushAll();
+            return;
+        }
+        if (it.kind == accel::TraceItem::Kind::compute) {
+            ++stats_.computeIn;
+            pendingInstructions_ += it.instructions;
+            continue;
+        }
+        stats_.wordsIn += it.burst;
+        // Oversized or misaligned-word items pass through untouched.
+        if (it.size == 0 || it.burst != 1 ||
+            it.size >= maxBurstBytes_) {
+            flushAll();
+            ready_.push_back(it);
+            continue;
+        }
+        // A word overlapping an open run of a different stream must
+        // flush that run first to keep program order per address.
+        for (Run &r : ways_) {
+            if (r.open() && !extends(r, it) &&
+                it.addr < r.end() &&
+                it.addr + it.size > r.base) {
+                flushRun(r);
+            }
+        }
+        Run *hit = nullptr;
+        for (Run &r : ways_)
+            if (extends(r, it)) {
+                hit = &r;
+                break;
+            }
+        if (hit == nullptr) {
+            // Claim an empty way, else evict the least recently
+            // extended run.
+            for (Run &r : ways_)
+                if (!r.open()) {
+                    hit = &r;
+                    break;
+                }
+            if (hit == nullptr) {
+                hit = &ways_.front();
+                for (Run &r : ways_)
+                    if (r.lastTouch < hit->lastTouch)
+                        hit = &r;
+                flushRun(*hit);
+            }
+            hit->kind = it.kind;
+            hit->base = it.addr;
+            hit->wordBytes = it.size;
+            hit->words = 0;
+        }
+        ++hit->words;
+        hit->lastTouch = ++touchClock_;
+    }
+}
+
+bool
+CoalescingTraceSource::next(accel::TraceItem &out)
+{
+    if (ready_.empty())
+        fill();
+    if (ready_.empty())
+        return false;
+    out = ready_.front();
+    ready_.pop_front();
+    return true;
+}
+
+void
+CoalescingTraceSource::rewind()
+{
+    for (Run &r : ways_)
+        r = Run{};
+    pendingInstructions_ = 0;
+    touchClock_ = 0;
+    ready_.clear();
+    innerDone_ = false;
+    stats_ = CoalesceStats{};
+    inner_->rewind();
+}
+
+std::unique_ptr<AgentTraceSource>
+wrapCoalescing(std::unique_ptr<AgentTraceSource> inner,
+               std::uint32_t maxBurstBytes)
+{
+    if (inner == nullptr || maxBurstBytes <= 32)
+        return inner;
+    return std::make_unique<CoalescingTraceSource>(
+        std::move(inner), maxBurstBytes);
+}
+
+} // namespace workload
+} // namespace dramless

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Burst coalescing of per-word trace items (ROADMAP item 2a).
+ *
+ * The Polybench and graph generators emit every access at PE operand
+ * granularity (32B words), so the event kernel pays one heap event
+ * per word. CoalescingTraceSource sits between a generator and the
+ * PE and merges contiguous same-kind word runs into burst TraceItems
+ * (TraceItem::burst > 1) up to a configurable maximum burst size.
+ *
+ * Workloads interleave several address streams (e.g. a strided load
+ * stream, a sequential load stream and a store stream), so a single
+ * pending run would never grow: the coalescer keeps a small number of
+ * concurrently open runs ("ways") and extends whichever one the next
+ * word continues. Compute items accumulate into one pending sum that
+ * is flushed ahead of the next emitted memory run, preserving the
+ * total instruction count and the coarse compute/memory interleave.
+ *
+ * Correctness contract (pinned by the differential oracle test): the
+ * coalesced stream covers exactly the same byte set as the wrapped
+ * stream, with identical per-kind word and instruction totals. Words
+ * may locally reorder across ways; trace items carry timing, not
+ * data, so this only shifts issue ticks.
+ */
+
+#ifndef DRAMLESS_WORKLOAD_COALESCE_HH
+#define DRAMLESS_WORKLOAD_COALESCE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "workload/workload_model.hh"
+
+namespace dramless
+{
+namespace workload
+{
+
+/** Counters for tests and tracing. */
+struct CoalesceStats
+{
+    /** Memory words consumed from the wrapped source. */
+    std::uint64_t wordsIn = 0;
+    /** Memory items (bursts) emitted downstream. */
+    std::uint64_t burstsOut = 0;
+    /** Compute items consumed from the wrapped source. */
+    std::uint64_t computeIn = 0;
+    /** Compute items emitted downstream. */
+    std::uint64_t computeOut = 0;
+};
+
+/** Merges contiguous same-kind word accesses into burst items. */
+class CoalescingTraceSource : public AgentTraceSource
+{
+  public:
+    /**
+     * @param inner wrapped per-word source (owned).
+     * @param maxBurstBytes largest burst emitted; runs never cross a
+     *        maxBurstBytes-aligned boundary, so aligned consumers
+     *        (L2 blocks, channel stripes) see aligned bursts.
+     * @param ways concurrently open runs before LRU eviction.
+     */
+    CoalescingTraceSource(std::unique_ptr<AgentTraceSource> inner,
+                          std::uint32_t maxBurstBytes,
+                          std::uint32_t ways = 4);
+
+    bool next(accel::TraceItem &out) override;
+    void rewind() override;
+
+    std::pair<std::uint64_t, std::uint64_t>
+    outputRegion() const override
+    {
+        return inner_->outputRegion();
+    }
+
+    const CoalesceStats &coalesceStats() const { return stats_; }
+
+  private:
+    /** One open run of contiguous same-kind words. */
+    struct Run
+    {
+        accel::TraceItem::Kind kind = accel::TraceItem::Kind::load;
+        std::uint64_t base = 0;
+        /** Word size (bytes) — uniform within a run. */
+        std::uint32_t wordBytes = 0;
+        std::uint32_t words = 0;
+        /** Monotone age for LRU eviction. */
+        std::uint64_t lastTouch = 0;
+
+        bool open() const { return words > 0; }
+        std::uint64_t end() const
+        {
+            return base + std::uint64_t(wordBytes) * words;
+        }
+    };
+
+    /** Pull from inner until something is ready or the trace ends. */
+    void fill();
+    /** Queue pending compute, then run @p r, for emission. */
+    void flushRun(Run &r);
+    /** Queue the accumulated compute sum for emission. */
+    void flushCompute();
+    /** Queue every open run (oldest first) and pending compute. */
+    void flushAll();
+    /** True when @p it extends @p r without crossing an aligned
+     *  maxBurst boundary. */
+    bool extends(const Run &r, const accel::TraceItem &it) const;
+
+    std::unique_ptr<AgentTraceSource> inner_;
+    std::uint32_t maxBurstBytes_;
+    std::vector<Run> ways_;
+    std::uint64_t pendingInstructions_ = 0;
+    std::uint64_t touchClock_ = 0;
+    std::deque<accel::TraceItem> ready_;
+    bool innerDone_ = false;
+    CoalesceStats stats_;
+};
+
+/**
+ * Wrap @p inner in a coalescer when @p maxBurstBytes allows more
+ * than one word per burst; otherwise return @p inner unchanged.
+ */
+std::unique_ptr<AgentTraceSource>
+wrapCoalescing(std::unique_ptr<AgentTraceSource> inner,
+               std::uint32_t maxBurstBytes);
+
+} // namespace workload
+} // namespace dramless
+
+#endif // DRAMLESS_WORKLOAD_COALESCE_HH

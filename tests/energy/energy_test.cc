@@ -79,6 +79,30 @@ TEST(PowerSeriesTest, CumulativeEnergyEndsAtTotal)
     EXPECT_NEAR(prev, total, total * 0.02);
 }
 
+TEST(PowerSeriesTest, CumulativeEnergyIntegratesTailToRunEnd)
+{
+    // Regression: the stretch from the last power sample to the end
+    // of the run used to be dropped from the core integral, leaving
+    // the final cumulative point short of the run total.
+    stats::TimeSeries power("p");
+    // Constant 4 W sampled only over the first half of a 1 ms run.
+    for (int i = 0; i <= 5; ++i)
+        power.record(Tick(i) * fromUs(100), 4.0);
+    double total = 0.010; // core contributes 4 mJ of the 10 mJ
+    stats::TimeSeries cum = systems::cumulativeEnergySeries(
+        power, total, 0, fromMs(1));
+    ASSERT_FALSE(cum.empty());
+    // The series now closes the window: last point sits at the run
+    // end and integrates exactly to the run's total joules.
+    EXPECT_EQ(cum.samples().back().when, fromMs(1));
+    EXPECT_NEAR(cum.samples().back().value, total, total * 1e-9);
+    double prev = -1.0;
+    for (const auto &pt : cum.samples()) {
+        EXPECT_GE(pt.value, prev);
+        prev = pt.value;
+    }
+}
+
 TEST(PowerSeriesTest, CorePowerReflectsActivity)
 {
     // Build a minimal accelerator, run a compute-only kernel, and

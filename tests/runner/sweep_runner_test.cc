@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests of the SweepRunner job-exception path: a throwing job must
+ * keep its result slot, leave sibling rows untouched, and either
+ * abort the sweep (default) or surface the failure in its row when
+ * continue-on-error is requested.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+#include "systems/metrics.hh"
+
+namespace dramless
+{
+namespace
+{
+
+using runner::SweepJob;
+using runner::SweepRunner;
+using systems::RunResult;
+
+/**
+ * A matrix of trivial jobs where job @p throw_at throws mid-sweep.
+ * Successful jobs stamp their index into bandwidthMBps so slot
+ * alignment is checkable from the outside.
+ */
+std::vector<SweepJob>
+makeMarkedJobs(std::size_t count, std::size_t throw_at)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        SweepJob job;
+        job.system = "sys" + std::to_string(i);
+        job.workload = "wl" + std::to_string(i);
+        job.run = [i, throw_at]() {
+            if (i == throw_at)
+                throw std::runtime_error("injected fault");
+            RunResult r;
+            r.system = "sys" + std::to_string(i);
+            r.workload = "wl" + std::to_string(i);
+            r.bandwidthMBps = double(i) + 1.0;
+            r.execTime = Tick(i + 1) * 1000;
+            return r;
+        };
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+void
+expectMatrixIntact(const std::vector<RunResult> &results,
+                   std::size_t count, std::size_t throw_at)
+{
+    ASSERT_EQ(results.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        // Every row keeps its labels, failed or not: indexing into
+        // the (system, workload) matrix never skews.
+        EXPECT_EQ(results[i].system, "sys" + std::to_string(i));
+        EXPECT_EQ(results[i].workload, "wl" + std::to_string(i));
+        if (i == throw_at) {
+            EXPECT_TRUE(results[i].failed());
+            EXPECT_EQ(results[i].error, "injected fault");
+            EXPECT_DOUBLE_EQ(results[i].bandwidthMBps, 0.0);
+        } else {
+            EXPECT_FALSE(results[i].failed());
+            EXPECT_DOUBLE_EQ(results[i].bandwidthMBps,
+                             double(i) + 1.0);
+            EXPECT_EQ(results[i].execTime, Tick(i + 1) * 1000);
+        }
+    }
+}
+
+TEST(SweepRunnerTest, AllJobsSucceedInOrder)
+{
+    // throw_at past the end: nothing throws.
+    auto jobs = makeMarkedJobs(6, 99);
+    SweepRunner runner(3);
+    auto results = runner.run(jobs);
+    ASSERT_EQ(results.size(), 6u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_FALSE(results[i].failed());
+        EXPECT_DOUBLE_EQ(results[i].bandwidthMBps, double(i) + 1.0);
+    }
+}
+
+TEST(SweepRunnerTest, ThrowingJobKeepsSlotWithContinueOnError)
+{
+    auto jobs = makeMarkedJobs(7, 3);
+    SweepRunner runner(4);
+    runner.setContinueOnError(true);
+    auto results = runner.run(jobs);
+    expectMatrixIntact(results, 7, 3);
+}
+
+TEST(SweepRunnerTest, SerialRunnerSurvivesMidSweepThrow)
+{
+    // One worker degenerates to a serial loop on the calling
+    // thread: jobs after the throwing one must still run.
+    auto jobs = makeMarkedJobs(5, 1);
+    SweepRunner runner(1);
+    runner.setContinueOnError(true);
+    auto results = runner.run(jobs);
+    expectMatrixIntact(results, 5, 1);
+}
+
+TEST(SweepRunnerTest, FailedJobStillCountsTowardProgress)
+{
+    auto jobs = makeMarkedJobs(6, 2);
+    SweepRunner runner(2);
+    runner.setContinueOnError(true);
+    std::atomic<std::size_t> calls{0};
+    std::size_t max_done = 0;
+    auto results = runner.run(
+        jobs, [&](std::size_t done, std::size_t total,
+                  const SweepJob &) {
+            ++calls;
+            EXPECT_EQ(total, 6u);
+            if (done > max_done)
+                max_done = done;
+        });
+    expectMatrixIntact(results, 6, 2);
+    // The failed job is reported like any other completion, so the
+    // progress line always reaches total.
+    EXPECT_EQ(calls.load(), 6u);
+    EXPECT_EQ(max_done, 6u);
+}
+
+TEST(SweepRunnerDeathTest, DefaultPolicyAbortsOnFailure)
+{
+    // Without continue-on-error a failed row must never escape into
+    // golden exports: the sweep fatal()s after the pool drains.
+    auto jobs = makeMarkedJobs(4, 2);
+    SweepRunner runner(2);
+    EXPECT_EXIT(runner.run(jobs),
+                ::testing::ExitedWithCode(1),
+                "sweep job 'sys2/wl2' failed: injected fault");
+}
+
+} // namespace
+} // namespace dramless
