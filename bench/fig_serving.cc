@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Request-level serving evaluation: an open-loop Poisson arrival
+ * stream of mixed requests (short BFS/SpMV graph queries plus a long
+ * Polybench kernel) served by a fleet of accelerator+PRAM nodes per
+ * organization, swept across arrival rates to locate each
+ * organization's saturation knee.
+ *
+ * Two phases. The *probe* phase runs every (organization, workload)
+ * pair once on the cycle-level system models (SweepRunner thread
+ * pool) to calibrate per-request service times. The *load sweep*
+ * then replays seeded request schedules through the serve::Fleet
+ * queueing layer at increasing offered load (fractions of the
+ * fleet's service capacity), reporting offered load vs. goodput,
+ * p50/p99/p999 queueing and end-to-end latency, queue depths,
+ * rejections, and the knee — the lowest swept load where the fleet
+ * stops completing everything it is offered. Full mode adds a
+ * bursty (MMPP) run per organization at mid load to show the tail
+ * blow-up average-rate metrics hide.
+ *
+ * The binary self-checks the physics its figure depends on — p99
+ * end-to-end latency must be monotone non-decreasing in offered
+ * load, and the top rate must saturate (goodput < offered) — and
+ * fails loudly otherwise, so the ctest smoke is a real regression
+ * gate.
+ *
+ * Environment knobs:
+ *   DRAMLESS_SERVING_QUICK  2 orgs x 2 workloads x 3 loads (CI)
+ *   DRAMLESS_SERVING_ORGS   comma-separated Table I labels
+ *   DRAMLESS_SERVING_POLICY jsq (default) or rr
+ *   DRAMLESS_SERVING_NODES  fleet size (default 4)
+ *   DRAMLESS_SERVING_REQUESTS requests per load point
+ *   DRAMLESS_SERVING_SEED   arrival-schedule seed (default 7)
+ *   DRAMLESS_SCALE          workload volume scale (default 0.25)
+ *   DRAMLESS_JOBS           probe worker threads
+ *   DRAMLESS_OUT_JSON/CSV   structured export ("-" = stdout)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.hh"
+
+using namespace dramless;
+
+namespace
+{
+
+struct Setup
+{
+    bool quick = false;
+    std::vector<systems::SystemKind> orgs;
+    std::vector<std::shared_ptr<const workload::WorkloadModel>>
+        models;
+    std::vector<double> mixWeights;
+    std::vector<double> loads;
+    std::uint64_t requests = 5000;
+    std::uint64_t seed = 7;
+    serve::FleetConfig fleet;
+};
+
+std::uint64_t
+u64FromEnv(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) {
+        warn("ignoring %s='%s' (not a positive integer)", name, env);
+        return fallback;
+    }
+    return v;
+}
+
+std::vector<systems::SystemKind>
+orgsFromEnv(bool quick)
+{
+    std::vector<systems::SystemKind> orgs;
+    if (const char *env = std::getenv("DRAMLESS_SERVING_ORGS")) {
+        std::string s(env);
+        std::size_t pos = 0;
+        while (pos <= s.size()) {
+            std::size_t comma = s.find(',', pos);
+            std::string label =
+                s.substr(pos, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - pos);
+            auto kind = systems::SystemFactory::fromLabel(label);
+            fatal_if(!kind.has_value(),
+                     "DRAMLESS_SERVING_ORGS names unknown "
+                     "organization '%s'",
+                     label.c_str());
+            orgs.push_back(*kind);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        fatal_if(orgs.empty(), "DRAMLESS_SERVING_ORGS is empty");
+        return orgs;
+    }
+    if (quick) {
+        return {systems::SystemKind::hetero,
+                systems::SystemKind::dramLess};
+    }
+    return {systems::SystemKind::hetero,
+            systems::SystemKind::heterodirect,
+            systems::SystemKind::integratedSlc,
+            systems::SystemKind::dramLess};
+}
+
+Setup
+setupFromEnv()
+{
+    Setup s;
+    s.quick = std::getenv("DRAMLESS_SERVING_QUICK") != nullptr;
+    s.orgs = orgsFromEnv(s.quick);
+    s.seed = u64FromEnv("DRAMLESS_SERVING_SEED", 7);
+    s.requests =
+        u64FromEnv("DRAMLESS_SERVING_REQUESTS", s.quick ? 2000 : 5000);
+    s.fleet.numNodes =
+        std::uint32_t(u64FromEnv("DRAMLESS_SERVING_NODES", 4));
+    s.fleet.queueCapacity = 16;
+    s.fleet.policy = serve::DispatchPolicy::joinShortestQueue;
+    if (const char *p = std::getenv("DRAMLESS_SERVING_POLICY")) {
+        if (std::strcmp(p, "rr") == 0)
+            s.fleet.policy = serve::DispatchPolicy::roundRobin;
+        else
+            fatal_if(std::strcmp(p, "jsq") != 0,
+                     "DRAMLESS_SERVING_POLICY must be jsq or rr");
+    }
+
+    // The request mix: mostly short graph queries with a tail of
+    // long Polybench kernel launches (the mixed short/long stream
+    // the graph-accelerator access-pattern literature argues is the
+    // realistic serving shape).
+    auto graphQuery = [&](workload::GraphKernel kernel) {
+        workload::GraphWorkloadConfig cfg;
+        cfg.kernel = kernel;
+        cfg.graph.numVertices = s.quick ? 4096 : 8192;
+        cfg.graph.edgeFactor = 8.0;
+        cfg.iterations = 1;
+        return std::make_shared<workload::GraphWorkload>(cfg);
+    };
+    s.models.push_back(graphQuery(workload::GraphKernel::bfs));
+    if (s.quick) {
+        s.models.push_back(
+            workload::modelFor(workload::Polybench::byName("gemver")));
+        s.mixWeights = {0.7, 0.3};
+        s.loads = {0.25, 0.8, 1.6};
+    } else {
+        s.models.push_back(graphQuery(workload::GraphKernel::spmv));
+        s.models.push_back(
+            workload::modelFor(workload::Polybench::byName("gemver")));
+        s.mixWeights = {0.55, 0.25, 0.2};
+        s.loads = {0.2, 0.5, 0.8, 1.1, 1.5};
+    }
+    return s;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    auto opts = bench::defaultOptions();
+    Setup s = setupFromEnv();
+
+    // ------------------- probe: calibrate service times ------------
+    auto jobs = runner::makeMatrixJobs(s.orgs, s.models, opts);
+    runner::SweepRunner pool(runner::jobsFromEnv());
+    std::printf("serving sweep: %zu orgs x %zu workloads probe, "
+                "%zu loads x %llu requests, %u node%s/org, policy "
+                "%s, %u worker%s, scale %.2f\n\n",
+                s.orgs.size(), s.models.size(), s.loads.size(),
+                (unsigned long long)s.requests, s.fleet.numNodes,
+                s.fleet.numNodes == 1 ? "" : "s",
+                serve::dispatchPolicyName(s.fleet.policy),
+                pool.numWorkers(), pool.numWorkers() == 1 ? "" : "s",
+                opts.workloadScale);
+    std::vector<systems::RunResult> probe =
+        pool.run(jobs, runner::stderrProgress());
+
+    serve::ServingSink sink(
+        "fig_serving",
+        "Open-loop load sweep: offered load vs goodput and tail "
+        "latency per organization, with the saturation knee");
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", opts.workloadScale);
+        sink.label("workload_scale", buf);
+        sink.label("policy",
+                   serve::dispatchPolicyName(s.fleet.policy));
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      (unsigned long long)s.seed);
+        sink.label("seed", buf);
+    }
+
+    // --------------------------- load sweep -------------------------
+    std::vector<std::string> orgLabels;
+    std::vector<double> knees;
+    for (std::size_t o = 0; o < s.orgs.size(); ++o) {
+        const char *label =
+            systems::SystemFactory::label(s.orgs[o]);
+        orgLabels.push_back(label);
+
+        std::vector<Tick> serviceTicks;
+        double weightedServiceSec = 0.0, weightSum = 0.0;
+        for (std::size_t m = 0; m < s.models.size(); ++m) {
+            const auto &r = probe[o * s.models.size() + m];
+            fatal_if(r.failed() || r.execTime == 0,
+                     "probe run %s/%s produced no service time",
+                     r.system.c_str(), r.workload.c_str());
+            serviceTicks.push_back(r.execTime);
+            weightedServiceSec +=
+                s.mixWeights[m] * toSec(r.execTime);
+            weightSum += s.mixWeights[m];
+        }
+        weightedServiceSec /= weightSum;
+        // One node completes 1/meanService requests per second, so
+        // load L offers L * numNodes / meanService.
+        double capacityRps =
+            double(s.fleet.numNodes) / weightedServiceSec;
+
+        serve::Fleet fleet(s.fleet, serviceTicks);
+        double prevP99 = 0.0;
+        double knee = 0.0;
+        std::printf("%-22s", label);
+        for (double load : s.loads) {
+            serve::ArrivalConfig acfg;
+            acfg.ratePerSec = load * capacityRps;
+            acfg.numRequests = s.requests;
+            acfg.seed = s.seed;
+            acfg.mixWeights = s.mixWeights;
+            serve::PoissonArrivals arrivals(acfg);
+
+            serve::ServingResult res =
+                fleet.run(arrivals.generate());
+            res.system = label;
+            res.arrival = csprintf("poisson/load=%.2f", load);
+
+            // Physics gates: latency must not improve as offered
+            // load grows (same seed, heavier traffic).
+            fatal_if(res.p99E2eUs + 1e-9 < prevP99,
+                     "%s: p99 e2e latency decreased from %.1fus to "
+                     "%.1fus when load rose to %.2f",
+                     label, prevP99, res.p99E2eUs, load);
+            prevP99 = res.p99E2eUs;
+            if (knee == 0.0 && res.completionRatio() < 0.999)
+                knee = load;
+
+            sink.metric(
+                csprintf("p99_e2e_us/%s/load_%.2f", label, load),
+                res.p99E2eUs);
+            sink.metric(
+                csprintf("goodput_ratio/%s/load_%.2f", label, load),
+                res.completionRatio());
+            sink.add(res);
+            std::printf("  L%.2f p99 %8.2fms good %5.1f%%", load,
+                        res.p99E2eUs / 1e3,
+                        res.completionRatio() * 100.0);
+
+            // The top rate must be past saturation: the fleet
+            // rejects work and goodput falls short of offered load.
+            if (load == s.loads.back()) {
+                fatal_if(res.rejected == 0 ||
+                             res.goodputPerSec >=
+                                 res.offeredRatePerSec,
+                         "%s: top load %.2f did not saturate "
+                         "(rejected %llu, goodput %.1f/s vs "
+                         "offered %.1f/s)",
+                         label, load,
+                         (unsigned long long)res.rejected,
+                         res.goodputPerSec, res.offeredRatePerSec);
+            }
+        }
+        std::printf("\n");
+        if (knee > 0.0) {
+            sink.metric(csprintf("knee_load/%s", label), knee);
+            knees.push_back(knee);
+        }
+
+        // Bursty traffic at mid load: same mean rate, MMPP
+        // modulation — the tail the Poisson average hides.
+        if (!s.quick) {
+            serve::ArrivalConfig acfg;
+            double midLoad = s.loads[s.loads.size() / 2];
+            acfg.ratePerSec = midLoad * capacityRps;
+            acfg.numRequests = s.requests;
+            acfg.seed = s.seed;
+            acfg.mixWeights = s.mixWeights;
+            serve::MmppArrivals::Burst burst;
+            burst.burstMultiplier = 6.0;
+            burst.meanQuietSec = 40.0 * weightedServiceSec;
+            burst.meanBurstSec = 10.0 * weightedServiceSec;
+            serve::MmppArrivals mmpp(acfg, burst);
+            serve::ServingResult res = fleet.run(mmpp.generate());
+            res.system = label;
+            res.arrival = csprintf("mmpp/load=%.2f", midLoad);
+            sink.metric(csprintf("p99_e2e_us_mmpp/%s", label),
+                        res.p99E2eUs);
+            sink.add(res);
+        }
+    }
+
+    // Summary knee geomean. An oversaturated sweep can locate no
+    // knee for any organization (or, degenerately, every request
+    // can be rejected) — report 0 with an explicit flag instead of
+    // crashing on an empty geomean.
+    sink.metric("orgs_with_knee", double(knees.size()));
+    sink.metric("knee_load_gm",
+                knees.empty() ? 0.0 : stats::geomean(knees));
+    if (!knees.empty()) {
+        std::printf("\nsaturation knee (load factor), geomean over "
+                    "%zu orgs: %.2f\n",
+                    knees.size(), stats::geomean(knees));
+    }
+
+    sink.exportFromEnv();
+    return 0;
+}

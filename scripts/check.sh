@@ -31,17 +31,21 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # request state and re-issue buffers — exactly where lifetime bugs
 # would hide. The integrity fuzz suite drives randomized traffic
 # through wear leveling + fault injection + spare remap against a
-# shadow model, so it runs under sanitizers too.
+# shadow model, so it runs under sanitizers too. The serving suite
+# joins them because its queueing event loop indexes schedules and
+# per-node wait lists by hand (and its histogram path is where the
+# NaN-indexing UB lived).
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" \
     -DDRAMLESS_SANITIZE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
 cmake --build "$san_dir" -j "$jobs" --target runner_tests \
-    reliability_tests integrity_tests
+    reliability_tests integrity_tests serve_tests
 "$san_dir/tests/runner/runner_tests" \
     --gtest_filter='DeterminismTest.*'
 "$san_dir/tests/reliability/reliability_tests"
 "$san_dir/tests/systems/integrity_tests"
+"$san_dir/tests/serve/serve_tests"
 
 # Stage 3: kernel performance gate. Re-runs the wall-clock
 # micro_kernel quick sweep serially (no sanitizers, default

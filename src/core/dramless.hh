@@ -17,6 +17,9 @@
 #include "runner/result_sink.hh"
 #include "runner/sweep_runner.hh"
 #include "runner/trace_export.hh"
+#include "serve/arrival.hh"
+#include "serve/fleet.hh"
+#include "serve/serving_sink.hh"
 #include "systems/factory.hh"
 #include "workload/graph.hh"
 #include "workload/polybench.hh"

@@ -197,16 +197,25 @@ writeTo(const char *path, const char *what,
 } // anonymous namespace
 
 void
-ResultSink::exportFromEnv() const
+exportFromEnv(const std::function<void(std::ostream &)> &json_emit,
+              const std::function<void(std::ostream &)> &csv_emit)
 {
     if (const char *path = std::getenv("DRAMLESS_OUT_JSON")) {
-        writeTo(path, "JSON",
-                [this](std::ostream &os) { writeJson(os); });
+        if (json_emit)
+            writeTo(path, "JSON", json_emit);
     }
     if (const char *path = std::getenv("DRAMLESS_OUT_CSV")) {
-        writeTo(path, "CSV",
-                [this](std::ostream &os) { writeCsv(os); });
+        if (csv_emit)
+            writeTo(path, "CSV", csv_emit);
     }
+}
+
+void
+ResultSink::exportFromEnv() const
+{
+    runner::exportFromEnv(
+        [this](std::ostream &os) { writeJson(os); },
+        [this](std::ostream &os) { writeCsv(os); });
 }
 
 } // namespace runner

@@ -14,6 +14,7 @@
 #define DRAMLESS_RUNNER_RESULT_SINK_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -26,6 +27,18 @@ namespace dramless
 {
 namespace runner
 {
+
+/**
+ * Honor the export environment knobs for an arbitrary document pair:
+ * invoke @p json_emit against the path in DRAMLESS_OUT_JSON and/or
+ * @p csv_emit against DRAMLESS_OUT_CSV when set (a value of "-"
+ * selects stdout); fatal() on unwritable paths. Either emitter may
+ * be null to skip that format. Shared by ResultSink and the
+ * serving-layer sink so every binary honors the same knobs.
+ */
+void exportFromEnv(
+    const std::function<void(std::ostream &)> &json_emit,
+    const std::function<void(std::ostream &)> &csv_emit);
 
 /** Results keyed by (system label, workload name). */
 using ResultMatrix =

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -76,8 +78,22 @@ jobsFromEnv()
     const char *env = std::getenv("DRAMLESS_JOBS");
     if (env == nullptr)
         return 0;
-    long v = std::atol(env);
-    return v > 0 ? unsigned(v) : 0;
+    // atol-style prefix parsing silently turned "abc" into 0 (= all
+    // cores) and "4x" into 4; require the whole string to be one
+    // in-range non-negative integer and fall back loudly otherwise.
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(env, &end, 10);
+    bool parsed = end != env && *end == '\0' && errno != ERANGE &&
+                  v >= 0 &&
+                  v <= long(std::numeric_limits<unsigned>::max());
+    if (!parsed) {
+        warn("ignoring DRAMLESS_JOBS='%s' (not a non-negative "
+             "integer); using one worker per hardware thread",
+             env);
+        return 0;
+    }
+    return unsigned(v);
 }
 
 SweepRunner::SweepRunner(unsigned num_workers)

@@ -74,7 +74,10 @@ makeMatrixJobs(
 
 /**
  * Worker count taken from the DRAMLESS_JOBS environment variable;
- * 0 or unset means one worker per hardware thread.
+ * 0 or unset means one worker per hardware thread. The value must
+ * be a fully-formed non-negative integer: anything else ("abc",
+ * "4x", "-2", "") is rejected with a warn() and falls back to the
+ * default rather than silently becoming 0 or a truncated prefix.
  */
 unsigned jobsFromEnv();
 

@@ -1,0 +1,91 @@
+#include "serve/serving_sink.hh"
+
+#include "runner/result_sink.hh"
+#include "sim/json.hh"
+
+namespace dramless
+{
+namespace serve
+{
+
+ServingSink::ServingSink(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description))
+{}
+
+void
+ServingSink::metric(const std::string &key, double value)
+{
+    metrics_.emplace_back(key, value);
+}
+
+void
+ServingSink::label(const std::string &key, const std::string &value)
+{
+    labels_.emplace_back(key, value);
+}
+
+void
+ServingSink::writeJson(std::ostream &os) const
+{
+    json::JsonWriter w(os);
+    w.beginObject();
+    w.keyValue("experiment", name_);
+    w.keyValue("description", description_);
+
+    w.key("labels").beginObject();
+    for (const auto &[k, v] : labels_)
+        w.keyValue(k, v);
+    w.endObject();
+
+    w.key("metrics").beginObject();
+    for (const auto &[k, v] : metrics_)
+        w.keyValue(k, v);
+    w.endObject();
+
+    w.key("runs").beginArray();
+    for (const auto &r : runs_)
+        r.writeJson(w, seriesPoints_, includeRecords_);
+    w.endArray();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+ServingSink::writeCsv(std::ostream &os) const
+{
+    os << "system,arrival,policy,num_nodes,queue_capacity,"
+          "offered,completed,rejected,completion_ratio,"
+          "offered_rate_rps,goodput_rps,"
+          "p50_queue_us,p99_queue_us,p999_queue_us,"
+          "p50_e2e_us,p99_e2e_us,p999_e2e_us,"
+          "mean_queue_depth\n";
+    for (const auto &r : runs_) {
+        os << json::csvField(r.system) << ','
+           << json::csvField(r.arrival) << ','
+           << json::csvField(r.policy) << ',' << r.numNodes << ','
+           << r.queueCapacity << ',' << r.offered << ','
+           << r.completed << ',' << r.rejected << ','
+           << json::number(r.completionRatio()) << ','
+           << json::number(r.offeredRatePerSec) << ','
+           << json::number(r.goodputPerSec) << ','
+           << json::number(r.p50QueueUs) << ','
+           << json::number(r.p99QueueUs) << ','
+           << json::number(r.p999QueueUs) << ','
+           << json::number(r.p50E2eUs) << ','
+           << json::number(r.p99E2eUs) << ','
+           << json::number(r.p999E2eUs) << ','
+           << json::number(r.queueDepth.timeWeightedMean()) << '\n';
+    }
+}
+
+void
+ServingSink::exportFromEnv() const
+{
+    runner::exportFromEnv(
+        [this](std::ostream &os) { writeJson(os); },
+        [this](std::ostream &os) { writeCsv(os); });
+}
+
+} // namespace serve
+} // namespace dramless

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structured export of serving-layer results.
+ *
+ * The ServingResult counterpart of runner::ResultSink: collects the
+ * per-(organization, arrival-rate) serving runs plus derived metrics
+ * and labels, and renders the collection as one JSON document or a
+ * CSV scalar table through the same DRAMLESS_OUT_JSON /
+ * DRAMLESS_OUT_CSV environment knobs every bench binary honors.
+ */
+
+#ifndef DRAMLESS_SERVE_SERVING_SINK_HH
+#define DRAMLESS_SERVE_SERVING_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/fleet.hh"
+
+namespace dramless
+{
+namespace serve
+{
+
+/** Collects serving runs and derived metrics for export. */
+class ServingSink
+{
+  public:
+    /**
+     * @param name experiment name (e.g. "fig_serving")
+     * @param description one-line human description
+     */
+    explicit ServingSink(std::string name,
+                         std::string description = "");
+
+    /** Append one serving run. */
+    void add(const ServingResult &r) { runs_.push_back(r); }
+
+    /** Record a derived numeric metric (insertion order kept). */
+    void metric(const std::string &key, double value);
+
+    /** Record a descriptive string label (insertion order kept). */
+    void label(const std::string &key, const std::string &value);
+
+    /** @return the collected runs in insertion order. */
+    const std::vector<ServingResult> &runs() const { return runs_; }
+
+    /** Cap on queue-depth series points per run in the JSON export;
+     *  0 keeps full series. */
+    void setSeriesPoints(std::size_t n) { seriesPoints_ = n; }
+
+    /** Emit the full per-request timestamp tables in the JSON. */
+    void setIncludeRecords(bool on) { includeRecords_ = on; }
+
+    /**
+     * Write the whole collection as one JSON document:
+     * {"experiment","description","labels","metrics","runs"}.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Write the runs as CSV (scalar aggregates, one row per run). */
+    void writeCsv(std::ostream &os) const;
+
+    /** Honor DRAMLESS_OUT_JSON / DRAMLESS_OUT_CSV (via
+     *  runner::exportFromEnv). */
+    void exportFromEnv() const;
+
+  private:
+    std::string name_;
+    std::string description_;
+    std::vector<ServingResult> runs_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<std::pair<std::string, std::string>> labels_;
+    std::size_t seriesPoints_ = 64;
+    bool includeRecords_ = false;
+};
+
+} // namespace serve
+} // namespace dramless
+
+#endif // DRAMLESS_SERVE_SERVING_SINK_HH

@@ -244,6 +244,7 @@ write(JsonWriter &w, const stats::Histogram &h)
     w.keyValue("name", h.name());
     w.keyValue("underflow", h.underflow());
     w.keyValue("overflow", h.overflow());
+    w.keyValue("nan", h.nanCount());
     w.keyValue("total", h.totalSamples());
     w.key("buckets").beginArray();
     for (std::size_t i = 0; i < h.numBuckets(); ++i) {

@@ -103,8 +103,8 @@ void write(JsonWriter &w, const stats::Scalar &s);
 /** Average -> {"name","mean","sum","count","min","max"}. */
 void write(JsonWriter &w, const stats::Average &a);
 /**
- * Histogram -> {"name","underflow","overflow","total","buckets":
- * [{"lo","hi","count"},...]}.
+ * Histogram -> {"name","underflow","overflow","nan","total",
+ * "buckets":[{"lo","hi","count"},...]}.
  */
 void write(JsonWriter &w, const stats::Histogram &h);
 /**

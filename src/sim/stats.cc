@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 
@@ -23,6 +24,13 @@ Histogram::Histogram(std::string name, double lo, double hi,
 void
 Histogram::sample(double v, std::uint64_t weight)
 {
+    // NaN fails every range comparison below, and feeding it to the
+    // bucket-index division is UB; tally it separately so broken
+    // samples can never masquerade as last-bucket mass.
+    if (std::isnan(v)) {
+        nan_ += weight;
+        return;
+    }
     total_ += weight;
     if (v < lo_) {
         underflow_ += weight;
@@ -38,12 +46,40 @@ Histogram::sample(double v, std::uint64_t weight)
     counts_[idx >= counts_.size() ? counts_.size() - 1 : idx] += weight;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    panic_if(p < 0.0 || p > 1.0,
+             "percentile needs p in [0, 1], got %f", p);
+    if (total_ == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    const double need = p * double(total_);
+    double cum = double(underflow_);
+    if (underflow_ > 0 && need <= cum)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        double c = double(counts_[i]);
+        if (need <= cum + c) {
+            double frac = (need - cum) / c;
+            if (frac < 0.0)
+                frac = 0.0;
+            return bucketLow(i) + width_ * frac;
+        }
+        cum += c;
+    }
+    // Only overflow mass remains past the last bucket.
+    return hi_;
+}
+
 void
 Histogram::reset()
 {
     counts_.assign(counts_.size(), 0);
     underflow_ = 0;
     overflow_ = 0;
+    nan_ = 0;
     total_ = 0;
 }
 
@@ -124,7 +160,8 @@ StatGroup::dump(std::ostream &os) const
         os << std::left << std::setw(40) << h->name()
            << " samples=" << h->totalSamples()
            << " under=" << h->underflow()
-           << " over=" << h->overflow() << "\n";
+           << " over=" << h->overflow()
+           << " nan=" << h->nanCount() << "\n";
         for (std::size_t i = 0; i < h->numBuckets(); ++i) {
             if (h->bucketCount(i) == 0)
                 continue;
@@ -137,13 +174,35 @@ StatGroup::dump(std::ostream &os) const
 double
 geomean(const std::vector<double> &values)
 {
-    panic_if(values.empty(), "geomean of empty vector");
+    if (values.empty())
+        return 0.0;
     double log_sum = 0.0;
     for (double v : values) {
         panic_if(v <= 0.0, "geomean requires positive values");
         log_sum += std::log(v);
     }
     return std::exp(log_sum / double(values.size()));
+}
+
+double
+percentileExact(std::vector<double> values, double p)
+{
+    panic_if(p < 0.0 || p > 1.0,
+             "percentile needs p in [0, 1], got %f", p);
+    values.erase(std::remove_if(values.begin(), values.end(),
+                                [](double v) {
+                                    return std::isnan(v);
+                                }),
+                 values.end());
+    if (values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    std::sort(values.begin(), values.end());
+    if (p <= 0.0)
+        return values.front();
+    auto rank = std::size_t(std::ceil(p * double(values.size())));
+    if (rank == 0)
+        rank = 1;
+    return values[std::min(values.size(), rank) - 1];
 }
 
 } // namespace stats

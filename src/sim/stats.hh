@@ -115,14 +115,36 @@ class Histogram
     Histogram(std::string name, double lo, double hi,
               std::size_t buckets, std::string desc = "");
 
-    /** Add a sample; out-of-range samples land in underflow/overflow. */
+    /**
+     * Add a sample; out-of-range samples land in underflow/overflow.
+     * NaN samples are tallied in a dedicated counter and never touch
+     * the buckets or the total — a latency that failed to measure
+     * must not silently inflate the last bucket and corrupt every
+     * percentile.
+     */
     void sample(double v, std::uint64_t weight = 1);
 
     std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
     std::size_t numBuckets() const { return counts_.size(); }
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
+    /** @return non-NaN samples (buckets + underflow + overflow). */
     std::uint64_t totalSamples() const { return total_; }
+    /** @return NaN samples rejected from the distribution. */
+    std::uint64_t nanCount() const { return nan_; }
+
+    /**
+     * Estimate the @p p quantile (p in [0, 1]) from the bucketed
+     * distribution by linear interpolation inside the bucket where
+     * the cumulative count crosses p * totalSamples(). Underflow
+     * mass is treated as sitting at the lower bound and overflow
+     * mass at the upper bound, so the estimate clamps to [lo, hi].
+     * @return NaN when the histogram holds no (non-NaN) samples.
+     * The error versus the exact sorted-sample quantile
+     * (percentileExact) is bounded by one bucket width for in-range
+     * data.
+     */
+    double percentile(double p) const;
     double bucketLow(std::size_t i) const { return lo_ + width_ * double(i); }
     double bucketHigh(std::size_t i) const { return bucketLow(i) + width_; }
 
@@ -140,6 +162,7 @@ class Histogram
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
+    std::uint64_t nan_ = 0;
     std::uint64_t total_ = 0;
 };
 
@@ -214,8 +237,26 @@ class StatGroup
     std::vector<const Histogram *> histograms_;
 };
 
-/** Geometric mean of @p values (values must be > 0). */
+/**
+ * Geometric mean of @p values (values must be > 0).
+ *
+ * An empty input returns 0.0 — not a valid geometric mean, but a
+ * survivable sentinel: sweeps where every run was rejected or failed
+ * (an oversaturated serving sweep, a continue-on-error matrix) must
+ * be able to report "no data" instead of crashing. Callers that need
+ * to distinguish "no data" from a real mean must check
+ * values.empty() themselves and flag the row.
+ */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Exact nearest-rank quantile of @p values (p in [0, 1]): the
+ * ceil(p * n)-th smallest value (the minimum for p == 0). NaN
+ * entries are dropped first; an all-NaN or empty input returns NaN.
+ * This is the reference Histogram::percentile() is validated
+ * against.
+ */
+double percentileExact(std::vector<double> values, double p);
 
 } // namespace stats
 } // namespace dramless

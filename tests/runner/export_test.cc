@@ -189,6 +189,20 @@ TEST(StatsJsonTest, HistogramSerializesBuckets)
     EXPECT_NE(doc.find("{\"lo\":1,\"hi\":2,\"count\":2}"),
               std::string::npos)
         << doc;
+    EXPECT_NE(doc.find("\"nan\":0"), std::string::npos) << doc;
+}
+
+// NaN samples surface in the export next to underflow/overflow
+// instead of silently landing in (or corrupting) the last bucket.
+TEST(StatsJsonTest, HistogramSerializesNanCount)
+{
+    stats::Histogram h("lat", 0.0, 4.0, 4);
+    h.sample(std::numeric_limits<double>::quiet_NaN(), 3);
+    h.sample(1.0);
+    std::string doc =
+        writeFragment([&](json::JsonWriter &w) { json::write(w, h); });
+    EXPECT_NE(doc.find("\"nan\":3"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"total\":1"), std::string::npos) << doc;
 }
 
 TEST(StatsJsonTest, TimeSeriesSerializesSamples)

@@ -10,11 +10,14 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "runner/sweep_runner.hh"
+#include "sim/logging.hh"
 #include "systems/metrics.hh"
 
 namespace dramless
@@ -142,6 +145,100 @@ TEST(SweepRunnerDeathTest, DefaultPolicyAbortsOnFailure)
     EXPECT_EXIT(runner.run(jobs),
                 ::testing::ExitedWithCode(1),
                 "sweep job 'sys2/wl2' failed: injected fault");
+}
+
+/**
+ * jobsFromEnv must reject anything that is not a fully-formed
+ * non-negative integer with a warn() and fall back to the default,
+ * instead of the old atol() behavior that silently turned "abc"
+ * into 0 workers-per-thread and truncated "4x" to 4.
+ */
+class JobsFromEnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (const char *old = std::getenv("DRAMLESS_JOBS")) {
+            saved_ = old;
+            had_ = true;
+        }
+        // warn() prints only when not quiet; other tests flip the
+        // global, so pin it for stderr capture.
+        setQuiet(false);
+    }
+
+    void TearDown() override
+    {
+        if (had_)
+            setenv("DRAMLESS_JOBS", saved_.c_str(), 1);
+        else
+            unsetenv("DRAMLESS_JOBS");
+        setQuiet(true);
+    }
+
+    /** @return (parsed value, captured stderr) for @p env. */
+    std::pair<unsigned, std::string> parse(const char *env)
+    {
+        if (env == nullptr)
+            unsetenv("DRAMLESS_JOBS");
+        else
+            setenv("DRAMLESS_JOBS", env, 1);
+        ::testing::internal::CaptureStderr();
+        unsigned v = runner::jobsFromEnv();
+        return {v, ::testing::internal::GetCapturedStderr()};
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST_F(JobsFromEnvTest, UnsetAndValidValuesParseSilently)
+{
+    auto [unset, unset_err] = parse(nullptr);
+    EXPECT_EQ(unset, 0u);
+    EXPECT_EQ(unset_err, "");
+
+    auto [three, three_err] = parse("3");
+    EXPECT_EQ(three, 3u);
+    EXPECT_EQ(three_err, "");
+
+    // Explicit 0 is valid: it means one worker per hardware thread.
+    auto [zero, zero_err] = parse("0");
+    EXPECT_EQ(zero, 0u);
+    EXPECT_EQ(zero_err, "");
+}
+
+TEST_F(JobsFromEnvTest, GarbageFallsBackWithWarning)
+{
+    // atol("abc") was silently 0; now the typo is called out.
+    auto [abc, abc_err] = parse("abc");
+    EXPECT_EQ(abc, 0u);
+    EXPECT_NE(abc_err.find("DRAMLESS_JOBS"), std::string::npos);
+    EXPECT_NE(abc_err.find("abc"), std::string::npos);
+}
+
+TEST_F(JobsFromEnvTest, TrailingGarbageIsNotTruncated)
+{
+    // atol("4x") silently took the prefix and ran 4 workers.
+    auto [v, err] = parse("4x");
+    EXPECT_EQ(v, 0u);
+    EXPECT_NE(err.find("DRAMLESS_JOBS"), std::string::npos);
+}
+
+TEST_F(JobsFromEnvTest, NegativeCountIsRejected)
+{
+    // atol("-2") wrapped through unsigned into ~4 billion workers.
+    auto [v, err] = parse("-2");
+    EXPECT_EQ(v, 0u);
+    EXPECT_NE(err.find("DRAMLESS_JOBS"), std::string::npos);
+}
+
+TEST_F(JobsFromEnvTest, EmptyStringIsRejected)
+{
+    auto [v, err] = parse("");
+    EXPECT_EQ(v, 0u);
+    EXPECT_NE(err.find("DRAMLESS_JOBS"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests of the fleet queueing simulation: per-request timestamps on
+ * handcrafted schedules, admission bounds and rejection, the two
+ * dispatch policies, priority scheduling, metric roll-up consistency
+ * against the exact percentile reference, and run() determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "serve/arrival.hh"
+#include "serve/fleet.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace serve
+{
+namespace
+{
+
+/** A schedule with the given arrival ticks (single workload 0). */
+std::vector<Request>
+scheduleAt(const std::vector<Tick> &arrivals)
+{
+    std::vector<Request> s(arrivals.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        s[i].id = i;
+        s[i].arrival = arrivals[i];
+    }
+    return s;
+}
+
+TEST(FleetTest, SingleNodeFifoTimestamps)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 1;
+    cfg.queueCapacity = 8;
+    const Tick service = fromUs(100.0);
+    Fleet fleet(cfg, {service});
+
+    auto res =
+        fleet.run(scheduleAt({0, fromUs(10.0), fromUs(250.0)}));
+    ASSERT_EQ(res.records.size(), 3u);
+    // First request starts immediately.
+    EXPECT_EQ(res.records[0].start, 0u);
+    EXPECT_EQ(res.records[0].completion, service);
+    EXPECT_EQ(res.records[0].queueingTicks(), 0u);
+    // Second queues behind it and starts at its completion.
+    EXPECT_EQ(res.records[1].dispatch, fromUs(10.0));
+    EXPECT_EQ(res.records[1].start, service);
+    EXPECT_EQ(res.records[1].completion, 2 * service);
+    EXPECT_EQ(res.records[1].queueingTicks(),
+              service - fromUs(10.0));
+    // Third arrives after the node drained: no queueing.
+    EXPECT_EQ(res.records[2].start, fromUs(250.0));
+    EXPECT_EQ(res.records[2].queueingTicks(), 0u);
+    EXPECT_EQ(res.completed, 3u);
+    EXPECT_EQ(res.rejected, 0u);
+    EXPECT_DOUBLE_EQ(res.completionRatio(), 1.0);
+    EXPECT_EQ(res.lastCompletion, fromUs(350.0));
+}
+
+TEST(FleetTest, RejectsBeyondQueueCapacity)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 1;
+    cfg.queueCapacity = 1; // one waiting slot + one in service
+    Fleet fleet(cfg, {fromUs(1000.0)});
+
+    auto res = fleet.run(scheduleAt({0, 1, 2, 3}));
+    EXPECT_FALSE(res.records[0].rejected); // in service
+    EXPECT_FALSE(res.records[1].rejected); // waiting
+    EXPECT_TRUE(res.records[2].rejected);
+    EXPECT_TRUE(res.records[3].rejected);
+    EXPECT_EQ(res.records[2].node, -1);
+    EXPECT_EQ(res.offered, 4u);
+    EXPECT_EQ(res.completed, 2u);
+    EXPECT_EQ(res.rejected, 2u);
+    EXPECT_DOUBLE_EQ(res.completionRatio(), 0.5);
+    // Rejected rows keep benign timestamps at the arrival tick.
+    EXPECT_EQ(res.records[2].endToEndTicks(), 0u);
+}
+
+TEST(FleetTest, CompletionAtArrivalTickFreesTheSlot)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 1;
+    cfg.queueCapacity = 0; // admission only onto an idle node
+    const Tick service = fromUs(50.0);
+    Fleet fleet(cfg, {service});
+
+    // Second arrival lands exactly at the first one's completion:
+    // the finished request vacates before admission is decided.
+    auto res = fleet.run(scheduleAt({0, service}));
+    EXPECT_FALSE(res.records[1].rejected);
+    EXPECT_EQ(res.records[1].start, service);
+    // A hair earlier and the node is still busy: rejected.
+    auto res2 = fleet.run(scheduleAt({0, service - 1}));
+    EXPECT_TRUE(res2.records[1].rejected);
+}
+
+TEST(FleetTest, JoinShortestQueuePicksLeastLoaded)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 2;
+    cfg.policy = DispatchPolicy::joinShortestQueue;
+    Fleet fleet(cfg, {fromUs(1000.0)});
+
+    auto res = fleet.run(scheduleAt({0, 1, 2, 3}));
+    // Ties break toward the lowest node id, so the spread is
+    // 0, 1, then back to 0 (both busy, equal occupancy), then 1.
+    EXPECT_EQ(res.records[0].node, 0);
+    EXPECT_EQ(res.records[1].node, 1);
+    EXPECT_EQ(res.records[2].node, 0);
+    EXPECT_EQ(res.records[3].node, 1);
+}
+
+TEST(FleetTest, RoundRobinRotatesAndSkipsFullNodes)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 3;
+    cfg.policy = DispatchPolicy::roundRobin;
+    cfg.queueCapacity = 0;
+    Fleet fleet(cfg, {fromUs(1000.0)});
+
+    // Four back-to-back arrivals on three nodes: the fourth finds
+    // node 0 (its rotation target) busy with no waiting room and
+    // every other node equally full — rejected.
+    auto res = fleet.run(scheduleAt({0, 1, 2, 3}));
+    EXPECT_EQ(res.records[0].node, 0);
+    EXPECT_EQ(res.records[1].node, 1);
+    EXPECT_EQ(res.records[2].node, 2);
+    EXPECT_TRUE(res.records[3].rejected);
+}
+
+TEST(FleetTest, PrioritySchedulingRunsHighestFirst)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 1;
+    cfg.queueCapacity = 8;
+    cfg.priorityScheduling = true;
+    const Tick service = fromUs(100.0);
+    Fleet fleet(cfg, {service, service});
+
+    auto schedule = scheduleAt(
+        {0, fromUs(10.0), fromUs(20.0), fromUs(30.0)});
+    schedule[1].priority = 1;
+    schedule[2].priority = 5;
+    schedule[3].priority = 5;
+    auto res = fleet.run(schedule);
+    // While request 0 serves, 1..3 queue; highest priority first,
+    // FIFO within the tied priority level.
+    EXPECT_EQ(res.records[2].start, 1 * service);
+    EXPECT_EQ(res.records[3].start, 2 * service);
+    EXPECT_EQ(res.records[1].start, 3 * service);
+
+    // The same schedule under plain FIFO serves in arrival order.
+    cfg.priorityScheduling = false;
+    auto fifo = Fleet(cfg, {service, service}).run(schedule);
+    EXPECT_EQ(fifo.records[1].start, 1 * service);
+    EXPECT_EQ(fifo.records[2].start, 2 * service);
+    EXPECT_EQ(fifo.records[3].start, 3 * service);
+}
+
+TEST(FleetTest, ServiceTimeTableIndexedByWorkload)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 2;
+    Fleet fleet(cfg, {fromUs(10.0), fromUs(500.0)});
+
+    auto schedule = scheduleAt({0, 0});
+    schedule[1].workloadIndex = 1;
+    auto res = fleet.run(schedule);
+    EXPECT_EQ(res.records[0].completion, fromUs(10.0));
+    EXPECT_EQ(res.records[1].completion, fromUs(500.0));
+}
+
+TEST(FleetTest, MetricsMatchRecords)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 2;
+    cfg.queueCapacity = 4;
+    ArrivalConfig acfg;
+    acfg.ratePerSec = 20000.0;
+    acfg.numRequests = 500;
+    acfg.seed = 7;
+    Fleet fleet(cfg, {fromUs(80.0)});
+    auto res = fleet.run(PoissonArrivals(acfg).generate());
+
+    // Counters must tie out against the per-request table, and the
+    // rolled-up percentiles must equal the exact reference computed
+    // from the same records.
+    std::uint64_t completed = 0, rejected = 0;
+    std::vector<double> queue_us, e2e_us;
+    for (const auto &r : res.records) {
+        if (r.rejected) {
+            ++rejected;
+            continue;
+        }
+        ++completed;
+        queue_us.push_back(toUs(r.queueingTicks()));
+        e2e_us.push_back(toUs(r.endToEndTicks()));
+    }
+    EXPECT_EQ(res.completed, completed);
+    EXPECT_EQ(res.rejected, rejected);
+    EXPECT_EQ(res.offered, completed + rejected);
+    EXPECT_DOUBLE_EQ(res.p50QueueUs,
+                     stats::percentileExact(queue_us, 0.50));
+    EXPECT_DOUBLE_EQ(res.p99QueueUs,
+                     stats::percentileExact(queue_us, 0.99));
+    EXPECT_DOUBLE_EQ(res.p999E2eUs,
+                     stats::percentileExact(e2e_us, 0.999));
+    // Histogram totals exclude nothing but rejections.
+    EXPECT_EQ(res.e2eLatencyUs.totalSamples(), completed);
+    // And the histogram percentile estimate tracks the exact one to
+    // within a bucket width.
+    double width = res.e2eLatencyUs.bucketHigh(0) -
+                   res.e2eLatencyUs.bucketLow(0);
+    EXPECT_NEAR(res.e2eLatencyUs.percentile(0.99), res.p99E2eUs,
+                width);
+}
+
+TEST(FleetTest, EmptyScheduleAndNoCompletions)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 1;
+    Fleet fleet(cfg, {fromUs(10.0)});
+    auto res = fleet.run({});
+    EXPECT_EQ(res.offered, 0u);
+    EXPECT_DOUBLE_EQ(res.completionRatio(), 0.0);
+    // No completed request: percentiles have no defined value.
+    EXPECT_TRUE(std::isnan(res.p99E2eUs));
+}
+
+TEST(FleetTest, RunIsDeterministic)
+{
+    FleetConfig cfg;
+    cfg.numNodes = 3;
+    cfg.queueCapacity = 2;
+    ArrivalConfig acfg;
+    acfg.ratePerSec = 50000.0;
+    acfg.numRequests = 1000;
+    acfg.mixWeights = {0.8, 0.2};
+    Fleet fleet(cfg, {fromUs(30.0), fromUs(200.0)});
+    auto schedule = PoissonArrivals(acfg).generate();
+
+    auto a = fleet.run(schedule);
+    auto b = fleet.run(schedule);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].start, b.records[i].start) << i;
+        EXPECT_EQ(a.records[i].completion, b.records[i].completion)
+            << i;
+        EXPECT_EQ(a.records[i].node, b.records[i].node) << i;
+    }
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_DOUBLE_EQ(a.p99E2eUs, b.p99E2eUs);
+}
+
+TEST(FleetDeathTest, RejectsMalformedInputs)
+{
+    FleetConfig cfg;
+    EXPECT_EXIT(Fleet(cfg, {}), ::testing::ExitedWithCode(1),
+                "at least one service time");
+    EXPECT_EXIT(Fleet(cfg, {0}), ::testing::ExitedWithCode(1),
+                "positive");
+    cfg.numNodes = 0;
+    EXPECT_EXIT(Fleet(cfg, {100}), ::testing::ExitedWithCode(1),
+                "at least one node");
+
+    cfg.numNodes = 1;
+    Fleet fleet(cfg, {fromUs(10.0)});
+    auto unsorted = scheduleAt({fromUs(20.0), fromUs(10.0)});
+    EXPECT_EXIT(fleet.run(unsorted), ::testing::ExitedWithCode(1),
+                "not sorted");
+    auto bad_index = scheduleAt({0});
+    bad_index[0].workloadIndex = 5;
+    EXPECT_EXIT(fleet.run(bad_index), ::testing::ExitedWithCode(1),
+                "outside the");
+}
+
+} // namespace
+} // namespace serve
+} // namespace dramless

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "sim/stats.hh"
 
@@ -219,6 +222,107 @@ TEST(StatGroupTest, DumpsRegisteredStats)
     EXPECT_NE(out.find("hist.three"), std::string::npos);
 }
 
+// Regression: NaN used to satisfy neither range guard and index
+// straight into the last bucket through a NaN-to-size_t conversion
+// (undefined behavior). It now lands in a dedicated counter, outside
+// every bucket and outside totalSamples().
+TEST(HistogramTest, NanSamplesCountedSeparately)
+{
+    Histogram h("h", 0.0, 10.0, 5);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::nan(""), 3);
+    h.sample(5.0);
+    EXPECT_EQ(h.nanCount(), 4u);
+    EXPECT_EQ(h.totalSamples(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketCount(4), 0u); // the old UB target
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    h.reset();
+    EXPECT_EQ(h.nanCount(), 0u);
+}
+
+TEST(HistogramTest, PercentileEmptyAndEdges)
+{
+    Histogram h("h", 0.0, 10.0, 5);
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    // NaN samples alone keep the distribution empty.
+    h.sample(std::nan(""));
+    EXPECT_TRUE(std::isnan(h.percentile(0.5)));
+    h.sample(-5.0); // underflow mass reports the lower bound
+    h.sample(50.0); // overflow mass reports the upper bound
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(HistogramDeathTest, PercentileRejectsBadRank)
+{
+    Histogram h("h", 0.0, 10.0, 5);
+    EXPECT_DEATH(h.percentile(-0.1), "0, 1");
+    EXPECT_DEATH(h.percentile(1.5), "0, 1");
+}
+
+TEST(PercentileExactTest, NearestRankReference)
+{
+    // Odd count: p50 is the middle element.
+    EXPECT_DOUBLE_EQ(percentileExact({3.0, 1.0, 2.0}, 0.5), 2.0);
+    // p99 of 1..100 is the 99th smallest.
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(double(i));
+    EXPECT_DOUBLE_EQ(percentileExact(v, 0.99), 99.0);
+    EXPECT_DOUBLE_EQ(percentileExact(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileExact(v, 1.0), 100.0);
+    // NaNs are dropped, an all-NaN/empty sample has no percentile.
+    EXPECT_DOUBLE_EQ(
+        percentileExact({std::nan(""), 7.0}, 0.5), 7.0);
+    EXPECT_TRUE(std::isnan(percentileExact({}, 0.5)));
+    EXPECT_TRUE(std::isnan(percentileExact({std::nan("")}, 0.5)));
+}
+
+// The histogram estimate must track the exact sorted-sample
+// reference to within one bucket width, including on skewed and
+// weighted distributions — the accuracy contract the serving layer's
+// tail-latency numbers rely on.
+TEST(HistogramTest, PercentileTracksExactReference)
+{
+    struct Case
+    {
+        const char *name;
+        std::vector<std::pair<double, std::uint64_t>> weighted;
+    };
+    std::vector<Case> cases;
+    // Heavily skewed: 95% tiny values, a long sparse tail.
+    Case skew{"skew", {}};
+    for (int i = 0; i < 950; ++i)
+        skew.weighted.push_back({double(i % 10), 1});
+    for (int i = 0; i < 50; ++i)
+        skew.weighted.push_back({900.0 + i * 2.0, 1});
+    cases.push_back(skew);
+    // Weighted bimodal mass.
+    cases.push_back(
+        {"bimodal", {{10.0, 400}, {800.0, 100}, {990.0, 1}}});
+    // Uniform grid.
+    Case grid{"grid", {}};
+    for (int i = 0; i <= 1000; ++i)
+        grid.weighted.push_back({double(i), 1});
+    cases.push_back(grid);
+
+    for (const auto &c : cases) {
+        Histogram h(c.name, 0.0, 1000.0, 200); // width 5
+        std::vector<double> flat;
+        for (const auto &[v, w] : c.weighted) {
+            h.sample(v, w);
+            flat.insert(flat.end(), w, v);
+        }
+        for (double p : {0.5, 0.9, 0.99, 0.999}) {
+            double exact = percentileExact(flat, p);
+            EXPECT_NEAR(h.percentile(p), exact, 5.0)
+                << c.name << " p=" << p;
+        }
+    }
+}
+
 TEST(GeomeanTest, MatchesClosedForm)
 {
     EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
@@ -226,9 +330,17 @@ TEST(GeomeanTest, MatchesClosedForm)
     EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-12);
 }
 
-TEST(GeomeanDeathTest, RejectsNonPositiveAndEmpty)
+// Regression: an empty sample used to panic the whole process, which
+// turned "this sweep found no knee" into a crash at summary time.
+// Empty now explicitly reports the 0.0 sentinel (callers decide what
+// an empty aggregate means); non-positive values still die.
+TEST(GeomeanTest, EmptyInputReturnsZeroSentinel)
 {
-    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(GeomeanDeathTest, RejectsNonPositive)
+{
     EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
     EXPECT_DEATH(geomean({-2.0}), "positive");
 }
