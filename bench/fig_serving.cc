@@ -24,6 +24,11 @@
  * fails loudly otherwise, so the ctest smoke is a real regression
  * gate.
  *
+ * A closing co-sim spot check replays a scaled-down schedule against
+ * live cycle-level nodes over a modeled PCIe hop (serve::CoSimFleet
+ * on the sharded PDES kernel), honoring DRAMLESS_SHARDS for the
+ * worker count — results are bit-identical for every shard count.
+ *
  * Environment knobs:
  *   DRAMLESS_SERVING_QUICK  2 orgs x 2 workloads x 3 loads (CI)
  *   DRAMLESS_SERVING_ORGS   comma-separated Table I labels
@@ -33,9 +38,11 @@
  *   DRAMLESS_SERVING_SEED   arrival-schedule seed (default 7)
  *   DRAMLESS_SCALE          workload volume scale (default 0.25)
  *   DRAMLESS_JOBS           probe worker threads
+ *   DRAMLESS_SHARDS         co-sim PDES workers (1 = serial)
  *   DRAMLESS_OUT_JSON/CSV   structured export ("-" = stdout)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +51,7 @@
 #include <vector>
 
 #include "harness.hh"
+#include "serve/cosim.hh"
 
 using namespace dramless;
 
@@ -319,6 +327,63 @@ main()
         std::printf("\nsaturation knee (load factor), geomean over "
                     "%zu orgs: %.2f\n",
                     knees.size(), stats::geomean(knees));
+    }
+
+    // ---------------- co-sim spot check (sharded kernel) -----------
+    // The load sweep above abstracts each node as a calibrated
+    // service-time table. The co-simulated fleet replays a seeded
+    // schedule of the same request mix (volume-scaled so each launch
+    // costs microseconds) against live cycle-level nodes behind a
+    // modeled PCIe hop, partitioned one-cluster-per-node on the
+    // conservative sharded event kernel. DRAMLESS_SHARDS picks the
+    // worker count; every value is bit-identical to the serial
+    // reference, so this doubles as a smoke of the PDES path under
+    // whatever shard count CI exports.
+    {
+        unsigned shards = runner::shardsFromEnv();
+        serve::CoSimConfig ccfg;
+        ccfg.fleet = s.fleet;
+        ccfg.fleet.numNodes = std::min(s.fleet.numNodes, 4u);
+        ccfg.node = opts;
+        ccfg.node.shards = shards;
+        std::vector<std::shared_ptr<const workload::WorkloadModel>>
+            cmix;
+        for (const auto &m : s.models)
+            cmix.push_back(m->scaled(s.quick ? 0.002 : 0.005));
+
+        serve::ArrivalConfig acfg;
+        acfg.numRequests = s.quick ? 48 : 192;
+        acfg.ratePerSec = 30000.0;
+        acfg.seed = s.seed;
+        acfg.mixWeights = s.mixWeights;
+        serve::CoSimFleet cofleet(ccfg, cmix);
+        serve::ServingResult res =
+            cofleet.run(serve::PoissonArrivals(acfg).generate());
+        res.system = "cosim";
+        res.arrival = "poisson/cosim";
+        fatal_if(res.completed == 0,
+                 "co-sim fleet completed no requests");
+
+        const pdes::KernelStats &ks = cofleet.kernelStats();
+        std::printf("\nco-sim spot check (%u node%s, %u shard%s): "
+                    "%llu/%llu completed, p99 e2e %.1fus, "
+                    "%llu windows / %llu messages\n",
+                    ccfg.fleet.numNodes,
+                    ccfg.fleet.numNodes == 1 ? "" : "s", shards,
+                    shards == 1 ? "" : "s",
+                    (unsigned long long)res.completed,
+                    (unsigned long long)res.offered, res.p99E2eUs,
+                    (unsigned long long)ks.windows,
+                    (unsigned long long)ks.messages);
+        // The shard count is deliberately NOT exported: results are
+        // bit-identical for every value, and the determinism pair in
+        // bench/CMakeLists.txt byte-compares exports made with
+        // different DRAMLESS_SHARDS to prove it.
+        sink.metric("cosim_p99_e2e_us", res.p99E2eUs);
+        sink.metric("cosim_goodput_ratio", res.completionRatio());
+        sink.metric("cosim_kernel_windows", double(ks.windows));
+        sink.metric("cosim_kernel_messages", double(ks.messages));
+        sink.add(res);
     }
 
     sink.exportFromEnv();

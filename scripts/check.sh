@@ -34,25 +34,46 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # shadow model, so it runs under sanitizers too. The serving suite
 # joins them because its queueing event loop indexes schedules and
 # per-node wait lists by hand (and its histogram path is where the
-# NaN-indexing UB lived).
+# NaN-indexing UB lived). The pdes suite joins under ASan because
+# the sharded kernel's mailbox envelopes and the co-sim fleet's
+# cross-cluster closures are heap-lifetime-sensitive by construction.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" \
     -DDRAMLESS_SANITIZE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
 cmake --build "$san_dir" -j "$jobs" --target runner_tests \
-    reliability_tests integrity_tests serve_tests
+    reliability_tests integrity_tests serve_tests pdes_tests
 "$san_dir/tests/runner/runner_tests" \
     --gtest_filter='DeterminismTest.*'
 "$san_dir/tests/reliability/reliability_tests"
 "$san_dir/tests/systems/integrity_tests"
 "$san_dir/tests/serve/serve_tests"
+"$san_dir/tests/pdes/pdes_tests"
+
+# Stage 2b: ThreadSanitizer profile. TSan sees what ASan cannot:
+# data races between the sharded event kernel's worker threads
+# (window barrier, mailbox locking, cluster handoff) and inside the
+# SweepRunner job pool. Death tests fork, which TSan dislikes, so
+# the kernel suite runs without them; the protocol violations they
+# cover are single-threaded panics already exercised under ASan.
+tsan_dir="$build_dir-tsan"
+cmake -B "$tsan_dir" -S "$repo_root" \
+    -DDRAMLESS_SANITIZE=thread \
+    -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
+cmake --build "$tsan_dir" -j "$jobs" --target pdes_tests \
+    runner_tests
+"$tsan_dir/tests/pdes/pdes_tests" \
+    --gtest_filter='-*Dies:*Refused'
+"$tsan_dir/tests/runner/runner_tests" \
+    --gtest_filter='SweepRunnerTest.*:CoreBudgetTest.*'
 
 # Stage 3: kernel performance gate. Re-runs the wall-clock
 # micro_kernel quick sweep serially (no sanitizers, default
 # RelWithDebInfo build from stage 1) and fails on a >20% events/sec
-# regression (or sweep heap-event blow-up) against the committed
-# BENCH_7.json baseline. Widen the
-# tolerance on noisy shared machines via DRAMLESS_PERF_TOLERANCE.
+# regression (or sweep heap-event blow-up, or a PDES shard-scaling
+# efficiency collapse on >=4-core hosts) against the committed
+# BENCH_9.json baseline. Widen the tolerance on noisy shared
+# machines via DRAMLESS_PERF_TOLERANCE.
 ctest --test-dir "$build_dir" --output-on-failure -L perf
 
 # Stage 4: workload coverage gate. The workload generators are the

@@ -96,13 +96,65 @@ jobsFromEnv()
     return unsigned(v);
 }
 
-SweepRunner::SweepRunner(unsigned num_workers)
+unsigned
+shardsFromEnv()
+{
+    const char *env = std::getenv("DRAMLESS_SHARDS");
+    if (env == nullptr)
+        return 1;
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(env, &end, 10);
+    bool parsed = end != env && *end == '\0' && errno != ERANGE &&
+                  v >= 0 &&
+                  v <= long(std::numeric_limits<unsigned>::max());
+    if (!parsed) {
+        warn("ignoring DRAMLESS_SHARDS='%s' (not a non-negative "
+             "integer); using the serial event kernel",
+             env);
+        return 1;
+    }
+    return unsigned(v);
+}
+
+unsigned
+clampWorkersToBudget(unsigned workers, unsigned shards_per_job,
+                     unsigned hardware_threads)
+{
+    if (hardware_threads == 0)
+        hardware_threads = 1;
+    // shards = 0 means "one kernel worker per core": one such job
+    // already claims the whole budget.
+    unsigned per_job =
+        shards_per_job == 0 ? hardware_threads : shards_per_job;
+    if (std::uint64_t(workers) * per_job <= hardware_threads)
+        return workers;
+    unsigned clamped =
+        std::max(1u, hardware_threads / std::min(per_job,
+                                                 hardware_threads));
+    warn("%u sweep jobs x %u kernel shards oversubscribes %u "
+         "hardware threads; clamping to %u concurrent jobs",
+         workers, per_job, hardware_threads, clamped);
+    return clamped;
+}
+
+SweepRunner::SweepRunner(unsigned num_workers,
+                         unsigned shards_per_job)
     : numWorkers_(num_workers)
 {
-    if (numWorkers_ == 0) {
-        unsigned hw = std::thread::hardware_concurrency();
-        numWorkers_ = hw > 0 ? hw : 1;
-    }
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (numWorkers_ == 0)
+        numWorkers_ = hw;
+    // shards_per_job == 1 keeps the historical contract: an explicit
+    // worker count is honored even past the core count (the jobs are
+    // blocking-light, so modest oversubscription is harmless). Any
+    // other value means every job multiplies into shard threads, and
+    // the product must fit the budget.
+    if (shards_per_job != 1)
+        numWorkers_ = clampWorkersToBudget(numWorkers_,
+                                           shards_per_job, hw);
 }
 
 std::vector<systems::RunResult>

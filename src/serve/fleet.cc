@@ -186,7 +186,17 @@ Fleet::run(const std::vector<Request> &schedule) const
     while (!completions.empty())
         finishOne();
 
-    // ----------------------------- roll-up -----------------------------
+    rollUpServingResult(res);
+    return res;
+}
+
+void
+rollUpServingResult(ServingResult &res)
+{
+    res.offered = res.records.size();
+    res.completed = 0;
+    res.rejected = 0;
+    res.lastCompletion = 0;
     std::vector<double> queue_us, e2e_us;
     queue_us.reserve(res.records.size());
     e2e_us.reserve(res.records.size());
@@ -201,8 +211,8 @@ Fleet::run(const std::vector<Request> &schedule) const
         queue_us.push_back(toUs(rec.queueingTicks()));
         e2e_us.push_back(toUs(rec.endToEndTicks()));
     }
-    if (!schedule.empty())
-        res.lastArrival = schedule.back().arrival;
+    if (!res.records.empty())
+        res.lastArrival = res.records.back().arrival;
     if (res.offered > 0 && res.lastArrival > 0) {
         res.offeredRatePerSec =
             double(res.offered) / toSec(res.lastArrival);
@@ -233,7 +243,6 @@ Fleet::run(const std::vector<Request> &schedule) const
     res.p50E2eUs = stats::percentileExact(e2e_us, 0.50);
     res.p99E2eUs = stats::percentileExact(e2e_us, 0.99);
     res.p999E2eUs = stats::percentileExact(e2e_us, 0.999);
-    return res;
 }
 
 void

@@ -145,6 +145,16 @@ struct ServingResult
 };
 
 /**
+ * Fill the aggregate fields of @p res — completed/rejected counts,
+ * arrival/completion span, offered/goodput rates, latency histograms
+ * and exact percentiles — from its per-request @c records (which must
+ * be fully populated, in schedule order). Shared by every serving
+ * backend (analytic Fleet, co-simulated CoSimFleet) so the roll-up
+ * semantics cannot drift apart.
+ */
+void rollUpServingResult(ServingResult &res);
+
+/**
  * A fleet of identical nodes serving one request schedule.
  *
  * Service times are a per-workload-index table (ticks), calibrated

@@ -1,0 +1,152 @@
+#include "serve/node_sim.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "workload/coalesce.hh"
+
+namespace dramless
+{
+namespace serve
+{
+
+namespace
+{
+
+std::uint64_t
+alignRegion(std::uint64_t v)
+{
+    // Same rule as IntegratedSystem: regions align to 4 KiB so
+    // distinct regions never share an L2 block.
+    return (v + 4095) / 4096 * 4096;
+}
+
+} // anonymous namespace
+
+SimNode::SimNode(
+    EventQueue &eq, const systems::SystemOptions &opts,
+    std::vector<std::shared_ptr<const workload::WorkloadModel>> mix,
+    bool priority_scheduling, std::string name)
+    : eventq_(eq), opts_(opts), mix_(std::move(mix)),
+      priorityScheduling_(priority_scheduling),
+      name_(std::move(name)), kick_(eq, name_ + ".kick")
+{
+    fatal_if(mix_.empty(), "%s: empty workload mix", name_.c_str());
+    fatal_if(opts_.numPes < 2, "%s: need a server PE plus agents",
+             name_.c_str());
+    for (const auto &m : mix_)
+        fatal_if(!m, "%s: null workload model in mix", name_.c_str());
+
+    ctrl::SubsystemConfig cfg;
+    cfg.scheduler = opts_.schedulerOverride
+                        ? *opts_.schedulerOverride
+                        : ctrl::SchedulerConfig::finalConfig();
+    if (opts_.geometryOverride)
+        cfg.geometry = *opts_.geometryOverride;
+    cfg.functional = opts_.functional;
+    cfg.wearLeveling = opts_.wearLeveling;
+    cfg.gapMovePeriod = opts_.gapMovePeriod;
+    cfg.reliability = opts_.reliability;
+    pram_ = std::make_unique<ctrl::PramSubsystem>(eventq_, cfg,
+                                                  name_ + ".pram");
+    storageReady_ = pram_->initialize();
+    backend_ = std::make_unique<systems::PramBackend>(*pram_);
+
+    accel::AcceleratorConfig acfg;
+    acfg.numPes = opts_.numPes;
+    acfg.sampleInterval = opts_.sampleInterval;
+    accel_ = std::make_unique<accel::Accelerator>(eventq_, acfg,
+                                                  name_ + ".accel");
+    accel_->attachBackend(backend_.get());
+}
+
+SimNode::~SimNode() = default;
+
+void
+SimNode::submit(std::uint64_t id, std::uint32_t mix_index,
+                std::uint32_t priority)
+{
+    fatal_if(mix_index >= mix_.size(),
+             "%s: request %llu names mix entry %u of %zu",
+             name_.c_str(), (unsigned long long)id, mix_index,
+             mix_.size());
+    stats_.submitted++;
+    waiting_.push_back(Queued{id, mix_index, priority});
+    tryLaunch();
+}
+
+void
+SimNode::tryLaunch()
+{
+    if (inService_ || waiting_.empty())
+        return;
+    Tick now = eventq_.curTick();
+    if (now < storageReady_) {
+        // The PRAM initializer (boot-up process) is still running:
+        // hold the queue until the subsystem accepts traffic.
+        kick_.schedule(storageReady_, [this] { tryLaunch(); });
+        return;
+    }
+
+    // Same pick rule as Fleet::popWaiting: FIFO, or highest priority
+    // first with FIFO within a level.
+    std::size_t best = 0;
+    if (priorityScheduling_) {
+        for (std::size_t i = 1; i < waiting_.size(); ++i) {
+            if (waiting_[i].priority > waiting_[best].priority)
+                best = i;
+        }
+    }
+    Queued q = waiting_[best];
+    waiting_.erase(waiting_.begin() + std::ptrdiff_t(best));
+    inService_ = true;
+
+    const workload::WorkloadModel &model = *mix_[q.mixIndex];
+    const workload::WorkloadSpec &spec = model.spec();
+    const std::uint32_t agents = opts_.numPes - 1;
+
+    // Address map mirrors IntegratedSystem::doRun. Every request
+    // reuses the same address space, as the paper's accelerator
+    // reuses its PRAM working set between kernels, so agent caches
+    // holding the previous request's lines must be dropped.
+    const std::uint64_t input_base = 0;
+    const std::uint64_t output_base = alignRegion(spec.inputBytes);
+    const std::uint64_t image_base =
+        alignRegion(output_base + spec.outputBytes + (1 << 20));
+    accel_->invalidateAgentCaches();
+
+    traces_.clear();
+    accel::KernelLaunch launch;
+    launch.imageBytes = opts_.imageBytes;
+    launch.imageBase = image_base;
+    for (std::uint32_t i = 0; i < agents; ++i) {
+        workload::AgentTraceParams tp;
+        tp.inputBase = input_base;
+        tp.outputBase = output_base;
+        tp.agentIndex = i;
+        tp.numAgents = agents;
+        tp.seed = opts_.seed;
+        traces_.push_back(workload::wrapCoalescing(
+            model.makeAgentTrace(tp), opts_.coalesceBytes));
+        launch.agentTraces.push_back(traces_.back().get());
+        launch.outputRegions.push_back(
+            traces_.back()->outputRegion());
+    }
+
+    accel_->launch(launch, [this, id = q.id, start = now](Tick t) {
+        inService_ = false;
+        stats_.completed++;
+        stats_.busyTicks += t - start;
+        if (completion_)
+            completion_(id, start, t);
+        // Not a direct tryLaunch(): the accelerator is still inside
+        // this callback's std::function, and a synchronous re-launch
+        // would reassign it mid-call. A same-tick event starts the
+        // next request after the callback unwinds.
+        if (!waiting_.empty())
+            kick_.schedule(t, [this] { tryLaunch(); });
+    });
+}
+
+} // namespace serve
+} // namespace dramless

@@ -1,0 +1,220 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace dramless
+{
+namespace pdes
+{
+
+ShardedKernel::ShardedKernel(Tick lookahead) : lookahead_(lookahead)
+{
+    panic_if(lookahead_ == 0,
+             "pdes: zero lookahead admits no conservative window");
+    // 0 = "not inside a window": setup-time sends are only bounded
+    // by the receiver's clock (still at 0), not by a window edge.
+    windowEnd_.store(0, std::memory_order_relaxed);
+}
+
+ShardedKernel::~ShardedKernel() = default;
+
+Cluster &
+ShardedKernel::addCluster(std::string name)
+{
+    panic_if(running_, "pdes: addCluster() after run()");
+    auto id = std::uint32_t(clusters_.size());
+    clusters_.emplace_back(new Cluster(id, std::move(name)));
+    mail_.emplace_back(new Mailbox);
+    return *clusters_.back();
+}
+
+void
+ShardedKernel::send(Cluster &from, Cluster &to, Tick when,
+                    std::function<void()> fn)
+{
+    // The receiver may already be executing the current window
+    // [horizon, windowEnd): a message landing inside it would be in
+    // the receiver's past by the time the barrier delivers it. The
+    // lookahead contract (link latency >= lookahead) makes this
+    // impossible for well-formed senders; check it anyway so a
+    // mis-derived lookahead fails loudly instead of warping time.
+    Tick window_end = windowEnd_.load(std::memory_order_relaxed);
+    panic_if(when < window_end,
+             "pdes: %s -> %s message at tick %llu violates the "
+             "lookahead window ending at %llu",
+             from.name().c_str(), to.name().c_str(),
+             (unsigned long long)when,
+             (unsigned long long)window_end);
+    Mailbox &box = *mail_[to.id()];
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.in.push_back(
+        Envelope{when, from.id(), from.outSeq_++, std::move(fn)});
+}
+
+void
+ShardedKernel::deliverAll()
+{
+    for (std::uint32_t dst = 0; dst < clusters_.size(); ++dst) {
+        Mailbox &box = *mail_[dst];
+        // No lock needed: every worker is parked at the barrier.
+        if (box.in.empty())
+            continue;
+        // Concurrent senders append in wall-clock order; the key
+        // (tick, source, source-sequence) is unique per message, so
+        // sorting restores one canonical delivery order independent
+        // of thread interleaving.
+        std::sort(box.in.begin(), box.in.end(),
+                  [](const Envelope &a, const Envelope &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      return a.seq < b.seq;
+                  });
+        Cluster &c = *clusters_[dst];
+        for (Envelope &e : box.in) {
+            stats_.messages++;
+            c.pool_.schedule(e.when, std::move(e.fn));
+        }
+        box.in.clear();
+    }
+}
+
+void
+ShardedKernel::runWindow(Cluster &c, Tick window_end)
+{
+    // Process every local event strictly before the window edge.
+    // runUntil() leaves curTick at window_end - 1 even on an idle
+    // cluster, which is safe: all future mail carries when >=
+    // window_end.
+    c.eq_.runUntil(window_end - 1);
+}
+
+void
+ShardedKernel::run(unsigned workers)
+{
+    panic_if(clusters_.empty(), "pdes: run() without clusters");
+    running_ = true;
+    if (workers == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? hw : 1;
+    }
+    workers = std::min<unsigned>(workers,
+                                 unsigned(clusters_.size()));
+
+    // Window-synchronized worker pool. Workers park on a condition
+    // variable between windows; each window they claim clusters off
+    // an atomic cursor, so load imbalance between clusters costs
+    // idle time, not correctness. All mailbox delivery and horizon
+    // math happens on the coordinating thread while the pool is
+    // parked at the barrier.
+    struct Sync
+    {
+        std::mutex mu;
+        std::condition_variable wake;
+        std::condition_variable done;
+        std::uint64_t generation = 0;
+        Tick windowEnd = 0;
+        std::atomic<std::uint32_t> cursor{0};
+        std::uint32_t finished = 0;
+        bool stop = false;
+    } sync;
+
+    auto drainClusters = [&](Tick window_end) {
+        for (;;) {
+            std::uint32_t i = sync.cursor.fetch_add(
+                1, std::memory_order_relaxed);
+            if (i >= clusters_.size())
+                return;
+            runWindow(*clusters_[i], window_end);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    if (workers > 1) {
+        pool.reserve(workers - 1);
+        for (unsigned w = 1; w < workers; ++w) {
+            pool.emplace_back([&] {
+                std::uint64_t seen = 0;
+                for (;;) {
+                    Tick window_end;
+                    {
+                        std::unique_lock<std::mutex> lock(sync.mu);
+                        sync.wake.wait(lock, [&] {
+                            return sync.stop ||
+                                   sync.generation != seen;
+                        });
+                        if (sync.stop)
+                            return;
+                        seen = sync.generation;
+                        window_end = sync.windowEnd;
+                    }
+                    drainClusters(window_end);
+                    {
+                        std::lock_guard<std::mutex> lock(sync.mu);
+                        if (++sync.finished == workers)
+                            sync.done.notify_one();
+                    }
+                }
+            });
+        }
+    }
+
+    deliverAll();
+    for (;;) {
+        Tick horizon = maxTick;
+        for (const auto &c : clusters_)
+            horizon = std::min(horizon, c->eq_.nextTick());
+        if (horizon == maxTick)
+            break;
+        panic_if(horizon > maxTick - lookahead_,
+                 "pdes: window overflow at tick %llu",
+                 (unsigned long long)horizon);
+        Tick window_end = horizon + lookahead_;
+        windowEnd_.store(window_end, std::memory_order_relaxed);
+        stats_.windows++;
+
+        if (workers == 1) {
+            // Serial execution: same windows, same delivery order,
+            // same per-cluster event order — the reference the
+            // determinism suite compares every worker count against.
+            for (auto &c : clusters_)
+                runWindow(*c, window_end);
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(sync.mu);
+                sync.cursor.store(0, std::memory_order_relaxed);
+                sync.finished = 1; // the coordinator counts too
+                sync.windowEnd = window_end;
+                ++sync.generation;
+            }
+            sync.wake.notify_all();
+            drainClusters(window_end);
+            std::unique_lock<std::mutex> lock(sync.mu);
+            sync.done.wait(
+                lock, [&] { return sync.finished == workers; });
+        }
+        windowEnd_.store(0, std::memory_order_relaxed);
+        deliverAll();
+    }
+
+    if (!pool.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(sync.mu);
+            sync.stop = true;
+        }
+        sync.wake.notify_all();
+        for (auto &t : pool)
+            t.join();
+    }
+
+    stats_.events = 0;
+    for (const auto &c : clusters_)
+        stats_.events += c->eq_.numProcessed();
+}
+
+} // namespace pdes
+} // namespace dramless

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation (PDES) kernel.
+ *
+ * The board the simulator models is inherently parallel: accelerator
+ * nodes, channel controllers and PRAM banks advance concurrently and
+ * couple only through links (PCIe/PHY) with fixed multi-tick
+ * latencies. This kernel exploits exactly that structure. A
+ * simulation is partitioned into *clusters* — component graphs that
+ * never call each other directly — each owning a private EventQueue.
+ * Clusters exchange timestamped messages through mailboxes, and a
+ * conservative window protocol keeps every cluster's local clock
+ * within *lookahead* of the global horizon:
+ *
+ *   1. deliver all mailbox messages into their destination queues
+ *      (sorted by (tick, source, source-sequence) — a strict total
+ *      order, so delivery is independent of the thread interleaving
+ *      that produced the messages);
+ *   2. horizon = min over clusters of nextTick();
+ *   3. every cluster processes its local events in
+ *      [horizon, horizon + lookahead) — in parallel, no locks on the
+ *      hot path, because conservative lookahead guarantees no
+ *      message generated inside the window can land inside it;
+ *   4. barrier; repeat until every queue and mailbox drains.
+ *
+ * The lookahead is the minimum cross-cluster link latency (for the
+ * serving fleet: the PCIe hop). Any send whose timestamp violates it
+ * panics — the protocol is checked, not assumed. Results are
+ * bit-identical for any worker count, including the serial
+ * single-worker execution, because the window sequence, the delivery
+ * order and each cluster's internal event order never depend on
+ * thread scheduling. This is the conservative (Chandy-Misra-Bryant
+ * descended) flavor rather than an optimistic Time-Warp: device
+ * models mutate rich non-copyable state (heaps, caches, wear maps),
+ * so checkpoint/rollback would cost more than the windows save.
+ */
+
+#ifndef DRAMLESS_SIM_PDES_HH
+#define DRAMLESS_SIM_PDES_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/event_pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace dramless
+{
+namespace pdes
+{
+
+class ShardedKernel;
+
+/**
+ * One shard of the simulation: a component graph on a private
+ * EventQueue. Component code is oblivious — it schedules on the
+ * cluster's queue exactly as it would on a serial kernel. Only the
+ * glue at cluster boundaries (the mailbox sends) is PDES-aware.
+ */
+class Cluster
+{
+  public:
+    /** @return the cluster's private event queue. */
+    EventQueue &eq() { return eq_; }
+    const EventQueue &eq() const { return eq_; }
+
+    /** @return the cluster index within its kernel. */
+    std::uint32_t id() const { return id_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    friend class ShardedKernel;
+
+    Cluster(std::uint32_t id, std::string name)
+        : id_(id), name_(std::move(name)), pool_(eq_, name_ + ".mail")
+    {}
+
+    std::uint32_t id_;
+    std::string name_;
+    EventQueue eq_;
+    /** Recycled one-shot events carrying delivered messages. */
+    EventPool pool_;
+    /** Messages sent by this cluster this window (source sequence). */
+    std::uint64_t outSeq_ = 0;
+};
+
+/** Scaling/diagnostic counters of one sharded run. */
+struct KernelStats
+{
+    /** Synchronization windows executed. */
+    std::uint64_t windows = 0;
+    /** Cross-cluster messages delivered. */
+    std::uint64_t messages = 0;
+    /** Events processed across all clusters. */
+    std::uint64_t events = 0;
+};
+
+/**
+ * The sharded kernel: owns the clusters, the mailboxes and the
+ * window loop.
+ */
+class ShardedKernel
+{
+  public:
+    /**
+     * @param lookahead conservative synchronization window — must be
+     *        a lower bound on every cross-cluster link latency and
+     *        strictly positive (zero lookahead admits no conservative
+     *        parallelism).
+     */
+    explicit ShardedKernel(Tick lookahead);
+    ~ShardedKernel();
+
+    ShardedKernel(const ShardedKernel &) = delete;
+    ShardedKernel &operator=(const ShardedKernel &) = delete;
+
+    /** Create a cluster. All clusters must exist before run(). */
+    Cluster &addCluster(std::string name);
+
+    /** @return cluster @p i in creation order. */
+    Cluster &cluster(std::uint32_t i) { return *clusters_.at(i); }
+    std::uint32_t numClusters() const
+    {
+        return std::uint32_t(clusters_.size());
+    }
+
+    Tick lookahead() const { return lookahead_; }
+
+    /**
+     * Send a timestamped message: @p fn runs on @p to's thread with
+     * @p to's queue at tick @p when. Must be called from @p from's
+     * window execution (or before run()); panics when @p when
+     * violates the lookahead guarantee — i.e. when a message could
+     * land inside the window the receiver may already be executing.
+     * Thread-safe across concurrently-executing source clusters.
+     */
+    void send(Cluster &from, Cluster &to, Tick when,
+              std::function<void()> fn);
+
+    /**
+     * Run every cluster to completion on @p workers threads
+     * (0 = one per hardware thread, capped at the cluster count;
+     * 1 = serial on the calling thread). Returns when every queue
+     * and every mailbox has drained. Results are bit-identical for
+     * every worker count.
+     */
+    void run(unsigned workers = 1);
+
+    /** @return counters of the last (or current) run. */
+    const KernelStats &kernelStats() const { return stats_; }
+
+  private:
+    struct Envelope
+    {
+        Tick when;
+        std::uint32_t src;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Mailbox
+    {
+        std::mutex mu;
+        std::vector<Envelope> in;
+    };
+
+    /** Deliver pending mail into destination queues (deterministic
+     *  order) and count it. Caller must be at a barrier. */
+    void deliverAll();
+
+    /** Run cluster @p c's window up to (exclusive) @p window_end. */
+    void runWindow(Cluster &c, Tick window_end);
+
+    Tick lookahead_;
+    std::vector<std::unique_ptr<Cluster>> clusters_;
+    /** One inbox per destination cluster. */
+    std::vector<std::unique_ptr<Mailbox>> mail_;
+    /** End (exclusive) of the window currently executing; sends are
+     *  validated against it. 0 = not inside a window. */
+    std::atomic<Tick> windowEnd_{0};
+    /** Set once run() starts: addCluster() afterwards is a bug. */
+    bool running_ = false;
+    KernelStats stats_;
+};
+
+} // namespace pdes
+} // namespace dramless
+
+#endif // DRAMLESS_SIM_PDES_HH

@@ -1,5 +1,7 @@
 #include "systems/factory.hh"
 
+#include <atomic>
+
 #include "sim/logging.hh"
 
 namespace dramless
@@ -86,6 +88,19 @@ SystemFactory::info(SystemKind kind)
 std::unique_ptr<AcceleratedSystem>
 SystemFactory::create(SystemKind kind, const SystemOptions &opts)
 {
+    // `shards` parallelizes multi-node co-sim fleets (one PDES
+    // cluster per node behind the PCIe hop; serve::CoSimFleet). A
+    // single-node system is one cluster — its MCU<->backend boundary
+    // is a synchronous call with zero lookahead — so the kernel
+    // stays serial here by design. Say so once instead of silently
+    // swallowing the knob.
+    static std::atomic<bool> warned_shards{false};
+    if (opts.shards != 1 && !warned_shards.exchange(true)) {
+        warn("SystemOptions::shards=%u is a no-op for single-node "
+             "systems (one event cluster); it shards multi-node "
+             "co-sim serving runs only",
+             opts.shards);
+    }
     switch (kind) {
       case SystemKind::hetero:
         return std::make_unique<HeteroSystem>(HeteroKind::hetero,

@@ -68,6 +68,18 @@ struct SystemOptions
      * coalescing and restore per-word issue.
      */
     std::uint32_t coalesceBytes = 512;
+    /**
+     * Event-kernel shards (worker threads) for simulations that run
+     * on the conservative PDES kernel (sim/pdes.hh) — today the
+     * multi-node co-simulated serving fleet, whose clusters are one
+     * dispatch frontend plus one per node. 1 = serial reference
+     * kernel; 0 = one worker per host core; every value produces
+     * bit-identical results. Single-node systems (AcceleratedSystem
+     * subclasses) are one cluster and always run serial: their
+     * MCU<->backend boundary is synchronous (zero lookahead), so the
+     * knob is a no-op there by design, not an oversight.
+     */
+    std::uint32_t shards = 1;
 };
 
 /**

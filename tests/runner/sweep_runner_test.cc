@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -239,6 +241,117 @@ TEST_F(JobsFromEnvTest, EmptyStringIsRejected)
     auto [v, err] = parse("");
     EXPECT_EQ(v, 0u);
     EXPECT_NE(err.find("DRAMLESS_JOBS"), std::string::npos);
+}
+
+/** Same strict-parsing contract for the DRAMLESS_SHARDS knob, with
+ *  the serial kernel (1) as the fallback instead of all-cores. */
+class ShardsFromEnvTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (const char *old = std::getenv("DRAMLESS_SHARDS")) {
+            saved_ = old;
+            had_ = true;
+        }
+        setQuiet(false);
+    }
+
+    void TearDown() override
+    {
+        if (had_)
+            setenv("DRAMLESS_SHARDS", saved_.c_str(), 1);
+        else
+            unsetenv("DRAMLESS_SHARDS");
+        setQuiet(true);
+    }
+
+    /** @return (parsed value, captured stderr) for @p env. */
+    std::pair<unsigned, std::string> parse(const char *env)
+    {
+        if (env == nullptr)
+            unsetenv("DRAMLESS_SHARDS");
+        else
+            setenv("DRAMLESS_SHARDS", env, 1);
+        ::testing::internal::CaptureStderr();
+        unsigned v = runner::shardsFromEnv();
+        return {v, ::testing::internal::GetCapturedStderr()};
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+TEST_F(ShardsFromEnvTest, UnsetMeansSerialKernel)
+{
+    auto [v, err] = parse(nullptr);
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(err, "");
+}
+
+TEST_F(ShardsFromEnvTest, ExplicitValuesParse)
+{
+    EXPECT_EQ(parse("4").first, 4u);
+    // 0 is valid: one kernel worker per hardware thread.
+    EXPECT_EQ(parse("0").first, 0u);
+}
+
+TEST_F(ShardsFromEnvTest, GarbageFallsBackToSerial)
+{
+    for (const char *bad : {"abc", "4x", "-2", ""}) {
+        auto [v, err] = parse(bad);
+        EXPECT_EQ(v, 1u) << "input '" << bad << "'";
+        EXPECT_NE(err.find("DRAMLESS_SHARDS"), std::string::npos);
+    }
+}
+
+TEST(CoreBudgetTest, WithinBudgetIsUntouched)
+{
+    EXPECT_EQ(runner::clampWorkersToBudget(4, 2, 8), 4u);
+    EXPECT_EQ(runner::clampWorkersToBudget(8, 1, 8), 8u);
+    EXPECT_EQ(runner::clampWorkersToBudget(1, 8, 8), 1u);
+}
+
+TEST(CoreBudgetTest, OversubscriptionClampsAndWarns)
+{
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    // 8 jobs x 4 shards on 8 threads -> 2 concurrent jobs.
+    EXPECT_EQ(runner::clampWorkersToBudget(8, 4, 8), 2u);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    setQuiet(true);
+    EXPECT_NE(err.find("oversubscribes"), std::string::npos);
+}
+
+TEST(CoreBudgetTest, NeverClampsToZero)
+{
+    // One job must always run, even when a single job's shards
+    // exceed the machine.
+    EXPECT_EQ(runner::clampWorkersToBudget(4, 16, 8), 1u);
+    EXPECT_EQ(runner::clampWorkersToBudget(2, 3, 4), 1u);
+}
+
+TEST(CoreBudgetTest, AutoShardsClaimWholeBudget)
+{
+    // shards=0 ("one kernel worker per core"): any second concurrent
+    // job would oversubscribe by construction.
+    EXPECT_EQ(runner::clampWorkersToBudget(8, 0, 8), 1u);
+    EXPECT_EQ(runner::clampWorkersToBudget(1, 0, 8), 1u);
+}
+
+TEST(CoreBudgetTest, RunnerCtorAppliesTheBudget)
+{
+    // With the serial kernel the historical contract holds: explicit
+    // worker counts are honored unclamped.
+    EXPECT_EQ(SweepRunner(64, 1).numWorkers(), 64u);
+    // With sharded jobs the jobs x shards product is capped by the
+    // host's thread count, whatever it is.
+    unsigned hw = std::thread::hardware_concurrency();
+    hw = hw > 0 ? hw : 1;
+    SweepRunner sharded(64, 4);
+    EXPECT_LE(sharded.numWorkers() * 4, std::max(hw, 4u));
+    EXPECT_GE(sharded.numWorkers(), 1u);
 }
 
 } // namespace
