@@ -1,10 +1,10 @@
 /**
  * @file
  * Request-level serving evaluation: an open-loop Poisson arrival
- * stream of mixed requests (short BFS/SpMV graph queries plus a long
- * Polybench kernel) served by a fleet of accelerator+PRAM nodes per
- * organization, swept across arrival rates to locate each
- * organization's saturation knee.
+ * stream of mixed requests (short BFS/SpMV graph queries and DNN
+ * inferences plus a long Polybench kernel) served by a fleet of
+ * accelerator+PRAM nodes per organization, swept across arrival
+ * rates to locate each organization's saturation knee.
  *
  * Two phases. The *probe* phase runs every (organization, workload)
  * pair once on the cycle-level system models (SweepRunner thread
@@ -143,10 +143,11 @@ setupFromEnv()
                      "DRAMLESS_SERVING_POLICY must be jsq or rr");
     }
 
-    // The request mix: mostly short graph queries with a tail of
-    // long Polybench kernel launches (the mixed short/long stream
-    // the graph-accelerator access-pattern literature argues is the
-    // realistic serving shape).
+    // The request mix: mostly short graph queries and DNN inferences
+    // with a tail of long Polybench kernel launches (the mixed
+    // short/long stream the graph-accelerator access-pattern
+    // literature argues is the realistic serving shape; inference is
+    // the ROADMAP's "requests become inferences" serving traffic).
     auto graphQuery = [&](workload::GraphKernel kernel) {
         workload::GraphWorkloadConfig cfg;
         cfg.kernel = kernel;
@@ -157,15 +158,18 @@ setupFromEnv()
     };
     s.models.push_back(graphQuery(workload::GraphKernel::bfs));
     if (s.quick) {
-        s.models.push_back(
-            workload::modelFor(workload::Polybench::byName("gemver")));
-        s.mixWeights = {0.7, 0.3};
-        s.loads = {0.25, 0.8, 1.6};
-    } else {
-        s.models.push_back(graphQuery(workload::GraphKernel::spmv));
+        s.models.push_back(workload::dnnModelFor("mlp", 1));
         s.models.push_back(
             workload::modelFor(workload::Polybench::byName("gemver")));
         s.mixWeights = {0.55, 0.25, 0.2};
+        s.loads = {0.25, 0.8, 1.6};
+    } else {
+        s.models.push_back(graphQuery(workload::GraphKernel::spmv));
+        s.models.push_back(workload::dnnModelFor("mlp", 1));
+        s.models.push_back(workload::dnnModelFor("lenet", 1));
+        s.models.push_back(
+            workload::modelFor(workload::Polybench::byName("gemver")));
+        s.mixWeights = {0.4, 0.2, 0.15, 0.1, 0.15};
         s.loads = {0.2, 0.5, 0.8, 1.1, 1.5};
     }
     return s;

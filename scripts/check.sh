@@ -37,18 +37,24 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 # NaN-indexing UB lived). The pdes suite joins under ASan because
 # the sharded kernel's mailbox envelopes and the co-sim fleet's
 # cross-cluster closures are heap-lifetime-sensitive by construction.
+# The dnn suite (ctest label dnn) rides along because its trace
+# source stages deques of items per tile pass and the differential
+# oracle walks every emitted word — the dense-iteration shape where
+# off-by-one indexing would hide.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" \
     -DDRAMLESS_SANITIZE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
 cmake --build "$san_dir" -j "$jobs" --target runner_tests \
-    reliability_tests integrity_tests serve_tests pdes_tests
+    reliability_tests integrity_tests serve_tests pdes_tests \
+    dnn_tests
 "$san_dir/tests/runner/runner_tests" \
     --gtest_filter='DeterminismTest.*'
 "$san_dir/tests/reliability/reliability_tests"
 "$san_dir/tests/systems/integrity_tests"
 "$san_dir/tests/serve/serve_tests"
 "$san_dir/tests/pdes/pdes_tests"
+"$san_dir/tests/workload/dnn_tests"
 
 # Stage 2b: ThreadSanitizer profile. TSan sees what ASan cannot:
 # data races between the sharded event kernel's worker threads
@@ -86,8 +92,10 @@ cov_dir="$build_dir-cov"
 cmake -B "$cov_dir" -S "$repo_root" \
     -DDRAMLESS_COVERAGE=ON \
     -DDRAMLESS_WERROR="${DRAMLESS_WERROR:-OFF}"
-cmake --build "$cov_dir" -j "$jobs" --target workload_tests
+cmake --build "$cov_dir" -j "$jobs" --target workload_tests \
+    dnn_tests
 "$cov_dir/tests/workload/workload_tests"
+"$cov_dir/tests/workload/dnn_tests"
 # Line-level union merge across translation units: each .gcda (the
 # library's own objects plus the test objects, which hold the header
 # inline coverage) is gcov'ed separately, and a source line counts as
@@ -96,7 +104,8 @@ cmake --build "$cov_dir" -j "$jobs" --target workload_tests
 cov_pct=$(cd "$cov_dir" && {
         for gcda in \
             src/workload/CMakeFiles/dramless_workload.dir/*.gcda \
-            tests/workload/CMakeFiles/workload_tests.dir/*.gcda
+            tests/workload/CMakeFiles/workload_tests.dir/*.gcda \
+            tests/workload/CMakeFiles/dnn_tests.dir/*.gcda
         do
             [ -f "$gcda" ] || continue
             gcov -p "$gcda" > /dev/null 2>&1 || true

@@ -21,6 +21,7 @@
 #include "serve/fleet.hh"
 #include "serve/serving_sink.hh"
 #include "systems/factory.hh"
+#include "workload/dnn.hh"
 #include "workload/graph.hh"
 #include "workload/polybench.hh"
 #include "workload/trace_gen.hh"

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Serving-layer coverage of the DNN inference workload family: a
+ * dnn-mix fleet whose service times are calibrated by live
+ * cycle-level probe runs, driven through both dispatch policies with
+ * metrics-vs-records consistency, plus the shards=1 vs shards=N
+ * bit-identical co-simulation differential over an inference mix so
+ * the PDES oracle also covers the new traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.hh"
+#include "serve/cosim.hh"
+#include "serve/fleet.hh"
+#include "sim/json.hh"
+#include "sim/stats.hh"
+#include "sim/ticks.hh"
+#include "systems/factory.hh"
+#include "workload/dnn.hh"
+
+namespace dramless
+{
+namespace serve
+{
+namespace
+{
+
+/** Tiny inference mix so each kernel launch costs microseconds. */
+std::vector<std::shared_ptr<const workload::WorkloadModel>>
+inferenceMix()
+{
+    return {
+        workload::dnnModelFor("mlp", 1)->scaled(0.02),
+        workload::dnnModelFor("lenet", 1)->scaled(0.25),
+    };
+}
+
+TEST(DnnServingTest, InferenceFleetMetricsMatchRecords)
+{
+    // Calibrate per-request service times with live probe runs of
+    // the inference mix on the DRAM-less organization, then drive
+    // the queueing fleet through both dispatch policies.
+    setQuiet(true);
+    systems::SystemOptions opts;
+    std::vector<Tick> service;
+    for (const auto &m : inferenceMix()) {
+        auto sys = systems::SystemFactory::create(
+            systems::SystemKind::dramLess, opts);
+        systems::RunResult r = sys->run(*m);
+        ASSERT_FALSE(r.failed());
+        ASSERT_GT(r.execTime, 0u);
+        service.push_back(r.execTime);
+    }
+
+    for (DispatchPolicy policy : {DispatchPolicy::roundRobin,
+                                  DispatchPolicy::joinShortestQueue}) {
+        SCOPED_TRACE(dispatchPolicyName(policy));
+        FleetConfig cfg;
+        cfg.numNodes = 2;
+        cfg.queueCapacity = 4;
+        cfg.policy = policy;
+        Fleet fleet(cfg, service);
+
+        ArrivalConfig acfg;
+        // Offer ~80% of fleet capacity so queues form without
+        // collapsing into pure rejection.
+        double mean_service_sec =
+            0.6 * toSec(service[0]) + 0.4 * toSec(service[1]);
+        acfg.ratePerSec =
+            0.8 * double(cfg.numNodes) / mean_service_sec;
+        acfg.numRequests = 400;
+        acfg.seed = 13;
+        acfg.mixWeights = {0.6, 0.4};
+        ServingResult res = fleet.run(PoissonArrivals(acfg).generate());
+
+        // Counters must tie out against the per-request table, and
+        // the rolled-up percentiles must equal the exact reference
+        // computed from the same records.
+        std::uint64_t completed = 0, rejected = 0;
+        std::vector<double> queue_us, e2e_us;
+        for (const auto &r : res.records) {
+            EXPECT_LT(r.workloadIndex, 2u);
+            if (r.rejected) {
+                ++rejected;
+                continue;
+            }
+            ++completed;
+            queue_us.push_back(toUs(r.queueingTicks()));
+            e2e_us.push_back(toUs(r.endToEndTicks()));
+        }
+        EXPECT_GT(completed, 0u);
+        EXPECT_EQ(res.completed, completed);
+        EXPECT_EQ(res.rejected, rejected);
+        EXPECT_EQ(res.offered, completed + rejected);
+        EXPECT_DOUBLE_EQ(res.p50QueueUs,
+                         stats::percentileExact(queue_us, 0.50));
+        EXPECT_DOUBLE_EQ(res.p99QueueUs,
+                         stats::percentileExact(queue_us, 0.99));
+        EXPECT_DOUBLE_EQ(res.p999E2eUs,
+                         stats::percentileExact(e2e_us, 0.999));
+        EXPECT_EQ(res.e2eLatencyUs.totalSamples(), completed);
+    }
+}
+
+std::string
+resultJson(const ServingResult &res)
+{
+    std::ostringstream os;
+    json::JsonWriter w(os, /*pretty=*/false);
+    // Full per-request table: "bit-identical" means every timestamp
+    // of every request, not just the aggregates.
+    res.writeJson(w, 0, /*with_records=*/true);
+    return os.str();
+}
+
+TEST(DnnServingTest, CoSimShardCountsAreBitIdenticalOnInference)
+{
+    CoSimConfig cfg;
+    cfg.fleet.numNodes = 3;
+    cfg.fleet.queueCapacity = 4;
+    cfg.fleet.policy = DispatchPolicy::joinShortestQueue;
+    cfg.node.numPes = 4;
+    cfg.node.seed = 7;
+
+    ArrivalConfig ac;
+    ac.numRequests = 24;
+    ac.ratePerSec = 30000.0;
+    ac.seed = 11;
+    ac.mixWeights = {2.0, 1.0};
+    auto schedule = PoissonArrivals(ac).generate();
+
+    cfg.node.shards = 1;
+    CoSimFleet serial(cfg, inferenceMix());
+    ServingResult ref = serial.run(schedule);
+    std::string ref_json = resultJson(ref);
+    EXPECT_GT(ref.completed, 0u);
+
+    for (unsigned shards : {3u, 0u}) {
+        cfg.node.shards = shards;
+        CoSimFleet fleet(cfg, inferenceMix());
+        ServingResult got = fleet.run(schedule);
+        EXPECT_EQ(resultJson(got), ref_json)
+            << "shards=" << shards
+            << " diverged from the serial kernel";
+        EXPECT_EQ(fleet.kernelStats().messages,
+                  serial.kernelStats().messages);
+        EXPECT_EQ(fleet.kernelStats().windows,
+                  serial.kernelStats().windows);
+    }
+}
+
+} // anonymous namespace
+} // namespace serve
+} // namespace dramless

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Differential trace oracle for the DNN inference workload family.
+ *
+ * The oracle pins DnnTraceSource's access stream against closed-form
+ * analytic counts derived independently here, with zero tolerance:
+ * weights are K*C*R*S elements' worth of words read once per tile
+ * pass, activations follow the sliding-window reuse model (rows
+ * resident in the double buffer are never refetched within a pass,
+ * every tile pass re-sweeps the input), and output stores are exact.
+ * The touched-address footprint is pinned the same way. Rewind,
+ * determinism and coalescing-interaction tests mirror
+ * coalesce_test.cc: weights must coalesce into long bursts, strided
+ * activation rows must never merge across row boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "workload/coalesce.hh"
+#include "workload/dnn.hh"
+
+namespace dramless
+{
+namespace workload
+{
+namespace
+{
+
+using accel::TraceItem;
+
+// ------------------------- analytic oracle -------------------------
+
+/** Bytes per modeled element — must match the generator's slot. */
+constexpr std::uint64_t kSlot = 8;
+constexpr std::uint32_t kUnit = 32;
+
+std::uint64_t
+wordsOf(std::uint64_t elems)
+{
+    return (elems * kSlot + kUnit - 1) / kUnit;
+}
+
+/** The contiguous-partition contract shared with the graph engine:
+ *  remainder spread over the first agents. */
+std::pair<std::uint32_t, std::uint32_t>
+slice(std::uint32_t begin, std::uint32_t end, std::uint32_t agent,
+      std::uint32_t agents)
+{
+    std::uint32_t total = end - begin;
+    std::uint32_t per = total / agents;
+    std::uint32_t extra = total % agents;
+    std::uint32_t first = begin + agent * per + std::min(agent, extra);
+    return {first, first + per + (agent < extra ? 1 : 0)};
+}
+
+/**
+ * Input rows fetched during one full tile pass of layer @p d under
+ * sliding-window reuse: each output row's clamped window fetches only
+ * the rows not already resident from the previous window.
+ */
+std::uint64_t
+fetchedRows(const DnnLayerDesc &d, std::uint32_t geom_h)
+{
+    if (d.type == DnnLayerType::fc)
+        return geom_h;
+    std::uint64_t rows = 0;
+    std::uint32_t buffered = 0;
+    for (std::uint32_t p = 0; p < d.outHeight(); ++p) {
+        std::int64_t start = std::int64_t(p) * d.strideH - d.padH;
+        std::uint32_t begin =
+            std::uint32_t(std::max<std::int64_t>(0, start));
+        std::uint32_t end = std::uint32_t(std::min<std::int64_t>(
+            geom_h, start + d.kernelH));
+        std::uint32_t fresh = std::max(begin, buffered);
+        if (end > fresh)
+            rows += end - fresh;
+        buffered = std::max(buffered, end);
+    }
+    return rows;
+}
+
+/** Closed-form per-layer counts for one inference (batch 1). */
+struct LayerCounts
+{
+    std::uint64_t weightWords = 0, actWords = 0, storeWords = 0;
+    std::uint64_t instructions = 0;
+    /** Distinct touched words (batch-independent). */
+    std::uint64_t weightFootprint = 0, actFootprint = 0;
+    std::uint64_t storeFootprint = 0;
+
+    LayerCounts &
+    operator+=(const LayerCounts &o)
+    {
+        weightWords += o.weightWords;
+        actWords += o.actWords;
+        storeWords += o.storeWords;
+        instructions += o.instructions;
+        weightFootprint += o.weightFootprint;
+        actFootprint += o.actFootprint;
+        storeFootprint += o.storeFootprint;
+        return *this;
+    }
+};
+
+LayerCounts
+layerOracle(const DnnModel &m, std::uint32_t l,
+            std::pair<std::uint32_t, std::uint32_t> owned,
+            std::uint32_t tile_channels)
+{
+    const DnnLayerDesc &d = m.layers()[l];
+    const DnnModel::ActGeom geom = m.inputGeom(l);
+    LayerCounts c;
+    std::uint64_t k = owned.second - owned.first;
+    if (k == 0)
+        return c;
+    std::uint64_t tile = tile_channels == 0 ? k : tile_channels;
+    std::uint64_t passes = (k + tile - 1) / tile;
+    std::uint64_t row_words = wordsOf(geom.width);
+    std::uint64_t rows = fetchedRows(d, geom.height);
+    if (d.type != DnnLayerType::pool) {
+        // K*C*R*S elements' worth of words, once per channel.
+        c.weightWords = k * wordsOf(d.weightElemsPerChannel());
+        c.weightFootprint = c.weightWords;
+        // Conv/fc sweep every input channel once per tile pass.
+        c.actWords = passes * geom.channels * rows * row_words;
+        c.actFootprint = geom.channels * rows * row_words;
+    } else {
+        // Pool reduces only its own tile channels: one sweep total.
+        c.actWords = k * rows * row_words;
+        c.actFootprint = c.actWords;
+    }
+    std::uint64_t p = d.outHeight(), q = d.outWidth();
+    c.storeWords = k * p * wordsOf(q);
+    c.storeFootprint = c.storeWords;
+    c.instructions = k * p * q * d.macsPerOutput();
+    return c;
+}
+
+/** Oracle totals for one agent's whole trace (counts x batch). */
+LayerCounts
+traceOracle(const DnnModel &m, std::uint32_t chunks,
+            std::uint32_t agent, std::uint32_t agents)
+{
+    LayerCounts total;
+    for (std::uint32_t l = 0; l < m.numLayers(); ++l) {
+        auto chunk0 =
+            slice(0, m.layers()[l].outChannels, 0, chunks);
+        auto owned = slice(chunk0.first, chunk0.second, agent, agents);
+        total += layerOracle(m, l, owned, m.config().tileChannels);
+    }
+    std::uint32_t batch = m.config().batch;
+    total.weightWords *= batch;
+    total.actWords *= batch;
+    total.storeWords *= batch;
+    total.instructions *= batch;
+    return total;
+}
+
+// --------------------------- trace drain ---------------------------
+
+/** Word totals and footprints of a DNN trace, split by region:
+ *  loads below the image base are weights, the rest activations. */
+struct DnnSummary
+{
+    std::uint64_t weightWords = 0, actWords = 0, storeWords = 0;
+    std::uint64_t instructions = 0, items = 0;
+    std::set<std::uint64_t> weightAddrs, actAddrs, storeAddrs;
+};
+
+DnnSummary
+drainDnn(accel::TraceSource &src, const DnnLayout &lay)
+{
+    DnnSummary s;
+    TraceItem it;
+    while (src.next(it)) {
+        ++s.items;
+        if (it.kind == TraceItem::Kind::compute) {
+            s.instructions += it.instructions;
+            continue;
+        }
+        for (std::uint32_t w = 0; w < it.burst; ++w) {
+            std::uint64_t addr = it.addr + std::uint64_t(w) * it.size;
+            if (it.kind == TraceItem::Kind::store) {
+                ++s.storeWords;
+                s.storeAddrs.insert(addr);
+            } else if (addr < lay.imageBase) {
+                ++s.weightWords;
+                s.weightAddrs.insert(addr);
+            } else {
+                ++s.actWords;
+                s.actAddrs.insert(addr);
+            }
+        }
+    }
+    return s;
+}
+
+std::vector<TraceItem>
+drainItems(accel::TraceSource &src)
+{
+    std::vector<TraceItem> v;
+    TraceItem it;
+    while (src.next(it))
+        v.push_back(it);
+    return v;
+}
+
+bool
+sameItems(const std::vector<TraceItem> &a,
+          const std::vector<TraceItem> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].kind != b[i].kind || a[i].addr != b[i].addr ||
+            a[i].size != b[i].size || a[i].burst != b[i].burst ||
+            a[i].instructions != b[i].instructions) {
+            return false;
+        }
+    }
+    return true;
+}
+
+DnnLayout
+layoutOf(const DnnWorkload &w)
+{
+    return DnnLayout::of(w.model(), kUnit, 0, 0);
+}
+
+/** Drain agent @p agent's trace and compare every count and every
+ *  footprint against the closed-form oracle, zero tolerance. */
+void
+expectMatchesOracle(const DnnWorkload &w, std::uint32_t agent,
+                    std::uint32_t agents, bool check_footprints)
+{
+    SCOPED_TRACE(testing::Message()
+                 << w.spec().name << " agent " << agent << "/"
+                 << agents);
+    AgentTraceParams p;
+    p.agentIndex = agent;
+    p.numAgents = agents;
+    auto src = w.makeAgentTrace(p);
+    DnnLayout lay = layoutOf(w);
+    DnnSummary got = drainDnn(*src, lay);
+    LayerCounts want =
+        traceOracle(w.model(), w.chunkCount(), agent, agents);
+    EXPECT_EQ(got.weightWords, want.weightWords);
+    EXPECT_EQ(got.actWords, want.actWords);
+    EXPECT_EQ(got.storeWords, want.storeWords);
+    EXPECT_EQ(got.instructions, want.instructions);
+    if (!check_footprints)
+        return;
+    // Footprints only compose across layers when no two layers share
+    // a buffer (single-layer and two-layer nets in these tests).
+    EXPECT_EQ(got.weightAddrs.size(), want.weightFootprint);
+    EXPECT_EQ(got.actAddrs.size(), want.actFootprint);
+    EXPECT_EQ(got.storeAddrs.size(), want.storeFootprint);
+}
+
+DnnNetworkConfig
+singleLayerNet(const char *name, DnnLayerDesc d,
+               std::uint32_t batch = 1, std::uint32_t tile = 4)
+{
+    DnnNetworkConfig cfg;
+    cfg.name = name;
+    cfg.layers = {d};
+    cfg.batch = batch;
+    cfg.tileChannels = tile;
+    return cfg;
+}
+
+// ----------------------------- shapes ------------------------------
+
+TEST(DnnLayerTest, ShapesStridesAndPadding)
+{
+    DnnLayerDesc conv = convLayer(3, 16, 16, 8, 3, 2, 1);
+    EXPECT_EQ(conv.outHeight(), 8u);
+    EXPECT_EQ(conv.outWidth(), 8u);
+    EXPECT_EQ(conv.weightElemsPerChannel(), 27u);
+    EXPECT_EQ(conv.macsPerOutput(), 27u);
+
+    DnnLayerDesc pool = poolLayer(6, 28, 28, 2, 2);
+    EXPECT_EQ(pool.outHeight(), 14u);
+    EXPECT_EQ(pool.outChannels, 6u);
+    EXPECT_EQ(pool.weightElemsPerChannel(), 0u);
+    EXPECT_EQ(pool.macsPerOutput(), 4u);
+
+    DnnLayerDesc fc = fcLayer(400, 120);
+    EXPECT_EQ(fc.outHeight(), 1u);
+    EXPECT_EQ(fc.outWidth(), 1u);
+    EXPECT_EQ(fc.weightElemsPerChannel(), 400u);
+    EXPECT_EQ(fc.macsPerOutput(), 400u);
+    EXPECT_EQ(fc.outputElems(), 120u);
+}
+
+TEST(DnnLayerTest, MismatchedChainsAreFatal)
+{
+    DnnNetworkConfig cfg;
+    cfg.name = "bad";
+    cfg.layers = {convLayer(1, 8, 8, 4, 3), poolLayer(5, 6, 6, 2, 2)};
+    EXPECT_DEATH(DnnModel m(cfg), "does not match");
+
+    DnnNetworkConfig fc_bad;
+    fc_bad.name = "bad_fc";
+    fc_bad.layers = {fcLayer(16, 8), fcLayer(9, 4)};
+    EXPECT_DEATH(DnnModel m(fc_bad), "fc input");
+
+    EXPECT_DEATH(dnnNetworkByName("nope"), "unknown DNN network");
+}
+
+// --------------------- differential trace oracle -------------------
+
+TEST(DnnOracleTest, ConvWordCountsAndFootprintMatchClosedForm)
+{
+    // Stride 2 + pad 1 exercises window clamping at both edges;
+    // batch 2 re-streams everything; tile 4 over 8 output channels
+    // gives two passes over the 3-channel input.
+    DnnWorkload w(singleLayerNet(
+        "conv1", convLayer(3, 16, 16, 8, 3, 2, 1), 2, 4));
+    for (std::uint32_t agents : {1u, 3u}) {
+        for (std::uint32_t a = 0; a < agents; ++a)
+            expectMatchesOracle(w, a, agents, true);
+    }
+}
+
+TEST(DnnOracleTest, FcWordCountsAndFootprintMatchClosedForm)
+{
+    DnnWorkload w(singleLayerNet("fc1", fcLayer(100, 24), 1, 4));
+    for (std::uint32_t agents : {1u, 2u}) {
+        for (std::uint32_t a = 0; a < agents; ++a)
+            expectMatchesOracle(w, a, agents, true);
+    }
+}
+
+TEST(DnnOracleTest, PoolWordCountsAndFootprintMatchClosedForm)
+{
+    // Non-overlapping 2x2/2 and overlapping 3x3/2 windows: the
+    // second has real sliding-window reuse (row 2 of each window is
+    // row 0 of the next).
+    DnnWorkload even(singleLayerNet(
+        "pool_even", poolLayer(6, 8, 8, 2, 2), 1, 4));
+    DnnWorkload overlap(singleLayerNet(
+        "pool_overlap", poolLayer(4, 9, 9, 3, 2), 1, 4));
+    for (const DnnWorkload *w : {&even, &overlap}) {
+        for (std::uint32_t a = 0; a < 2; ++a)
+            expectMatchesOracle(*w, a, 2, true);
+    }
+}
+
+TEST(DnnOracleTest, NamedNetworksMatchClosedForm)
+{
+    // Full multi-layer networks: counts still match layer-by-layer
+    // sums (footprints overlap across ping-pong buffers, skipped).
+    for (const DnnNetworkConfig &cfg : dnnNetworks()) {
+        DnnWorkload w(cfg);
+        for (std::uint32_t a = 0; a < 3; ++a)
+            expectMatchesOracle(w, a, 3, false);
+    }
+}
+
+TEST(DnnOracleTest, AgentPartitionTilesTheStoreFootprint)
+{
+    // Per-agent store footprints union to the single-agent footprint
+    // — exactly the graph engine's vertex partitioning, on output
+    // channels. (Across layers the ping-pong buffers alias, so
+    // pairwise disjointness only holds within one layer; the
+    // single-layer net pins it.)
+    const std::vector<DnnNetworkConfig> nets = {
+        dnnNetworkByName("lenet"),
+        singleLayerNet("conv1", convLayer(3, 16, 16, 8, 3, 2, 1)),
+    };
+    for (const DnnNetworkConfig &cfg : nets) {
+        const bool multi_layer = cfg.layers.size() > 1;
+        DnnWorkload w(cfg);
+        SCOPED_TRACE(w.spec().name);
+        DnnLayout lay = layoutOf(w);
+        AgentTraceParams whole;
+        auto whole_src = w.makeAgentTrace(whole);
+        DnnSummary all = drainDnn(*whole_src, lay);
+
+        std::set<std::uint64_t> unioned;
+        std::uint64_t sizes = 0;
+        const std::uint32_t agents = 3;
+        for (std::uint32_t a = 0; a < agents; ++a) {
+            AgentTraceParams p;
+            p.agentIndex = a;
+            p.numAgents = agents;
+            auto src = w.makeAgentTrace(p);
+            DnnSummary s = drainDnn(*src, lay);
+            sizes += s.storeAddrs.size();
+            unioned.insert(s.storeAddrs.begin(), s.storeAddrs.end());
+        }
+        EXPECT_EQ(unioned, all.storeAddrs);
+        if (!multi_layer) {
+            EXPECT_EQ(sizes, unioned.size()); // disjoint channels
+        }
+    }
+}
+
+TEST(DnnOracleTest, TilePassesRestreamActivationsNotWeights)
+{
+    // Same layer, one pass (tile 0) vs two passes (tile 2): each
+    // extra pass re-sweeps the input once; weights, stores and MACs
+    // are pass-count invariant.
+    DnnLayerDesc d = convLayer(2, 8, 8, 4, 3);
+    DnnWorkload one(singleLayerNet("t0", d, 1, 0));
+    DnnWorkload two(singleLayerNet("t2", d, 1, 2));
+    DnnLayout lay = layoutOf(one);
+    AgentTraceParams p;
+    auto s1 = drainDnn(*one.makeAgentTrace(p), lay);
+    auto s2 = drainDnn(*two.makeAgentTrace(p), lay);
+    EXPECT_EQ(s2.actWords, 2 * s1.actWords);
+    EXPECT_EQ(s2.weightWords, s1.weightWords);
+    EXPECT_EQ(s2.storeWords, s1.storeWords);
+    EXPECT_EQ(s2.instructions, s1.instructions);
+    EXPECT_EQ(s2.actAddrs, s1.actAddrs);
+}
+
+TEST(DnnOracleTest, BatchRestreamsWeightsWithSameFootprint)
+{
+    auto count = [](std::uint32_t batch) {
+        DnnNetworkConfig cfg = dnnNetworkByName("mlp");
+        cfg.batch = batch;
+        DnnWorkload w(cfg);
+        AgentTraceParams p;
+        auto src = w.makeAgentTrace(p);
+        return drainDnn(*src, layoutOf(w));
+    };
+    DnnSummary b1 = count(1), b3 = count(3);
+    EXPECT_EQ(b3.weightWords, 3 * b1.weightWords);
+    EXPECT_EQ(b3.actWords, 3 * b1.actWords);
+    EXPECT_EQ(b3.storeWords, 3 * b1.storeWords);
+    EXPECT_EQ(b3.instructions, 3 * b1.instructions);
+    EXPECT_EQ(b3.weightAddrs, b1.weightAddrs);
+    EXPECT_EQ(b3.actAddrs, b1.actAddrs);
+    EXPECT_EQ(b3.storeAddrs, b1.storeAddrs);
+}
+
+TEST(DnnOracleTest, EmptyPartitionEmitsSentinel)
+{
+    // 2 output channels across 4 agents: agents 2 and 3 own nothing
+    // in any layer and must still boot and retire their PE.
+    DnnWorkload w(singleLayerNet("tiny", fcLayer(8, 2)));
+    AgentTraceParams p;
+    p.agentIndex = 3;
+    p.numAgents = 4;
+    auto items = drainItems(*w.makeAgentTrace(p));
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0].kind, TraceItem::Kind::compute);
+    EXPECT_EQ(items[0].instructions, 1u);
+}
+
+TEST(DnnOracleTest, StoresStayInsideTheReportedOutputRegion)
+{
+    DnnWorkload w(dnnNetworkByName("lenet"));
+    AgentTraceParams p;
+    p.agentIndex = 1;
+    p.numAgents = 2;
+    auto src = w.makeAgentTrace(p);
+    auto [base, bytes] = src->outputRegion();
+    DnnLayout lay = layoutOf(w);
+    EXPECT_EQ(base, lay.outBase);
+    EXPECT_EQ(bytes, lay.outBytes);
+    DnnSummary s = drainDnn(*src, lay);
+    ASSERT_FALSE(s.storeAddrs.empty());
+    EXPECT_GE(*s.storeAddrs.begin(), base);
+    EXPECT_LT(*s.storeAddrs.rbegin(), base + bytes);
+}
+
+TEST(DnnOracleTest, ChunkedTracesCoverOnlyChunkZeroChannels)
+{
+    DnnWorkload full(dnnNetworkByName("mlp"));
+    auto chunk = std::dynamic_pointer_cast<const DnnWorkload>(
+        full.chunked(2));
+    ASSERT_NE(chunk, nullptr);
+    EXPECT_EQ(chunk->chunkCount(), 2u);
+    for (std::uint32_t a = 0; a < 2; ++a)
+        expectMatchesOracle(*chunk, a, 2, false);
+    // The trace's per-layer ranges are the chunk-0 slices.
+    AgentTraceParams p;
+    auto src = chunk->makeAgentTrace(p);
+    auto *dnn = dynamic_cast<DnnTraceSource *>(src.get());
+    ASSERT_NE(dnn, nullptr);
+    const DnnModel &m = chunk->model();
+    for (std::uint32_t l = 0; l < m.numLayers(); ++l) {
+        EXPECT_EQ(dnn->channelRange(l),
+                  slice(0, m.layers()[l].outChannels, 0, 2));
+    }
+}
+
+TEST(DnnOracleTest, BadAgentSliceIsFatal)
+{
+    DnnWorkload w(singleLayerNet("tiny", fcLayer(8, 2)));
+    AgentTraceParams p;
+    p.agentIndex = 2;
+    p.numAgents = 2;
+    EXPECT_DEATH(w.makeAgentTrace(p), "bad agent slice");
+    AgentTraceParams q;
+    q.accessBytes = 48;
+    EXPECT_DEATH(w.makeAgentTrace(q), "multiple of 32");
+}
+
+// ------------------------------ spec -------------------------------
+
+TEST(DnnSpecTest, SpecNamesPatternsAndClasses)
+{
+    DnnWorkload lenet(dnnNetworkByName("lenet"));
+    EXPECT_EQ(lenet.spec().name, "lenet_b1");
+    EXPECT_EQ(lenet.spec().pattern, Pattern::strided);
+
+    DnnWorkload mlp(dnnNetworkByName("mlp"));
+    EXPECT_EQ(mlp.spec().pattern, Pattern::streaming);
+    // Weight streaming dominates a batch-1 MLP.
+    EXPECT_EQ(mlp.spec().klass, WorkloadClass::readIntensive);
+
+    DnnNetworkConfig big = dnnNetworkByName("lenet");
+    big.batch = 64;
+    DnnWorkload batched(big);
+    EXPECT_EQ(batched.spec().name, "lenet_b64");
+    EXPECT_GT(batched.spec().opsPerByte, lenet.spec().opsPerByte);
+}
+
+TEST(DnnSpecTest, ScaledKeepsNameAndShrinksVolume)
+{
+    DnnWorkload w(dnnNetworkByName("ffn"));
+    auto small = w.scaled(0.25);
+    EXPECT_EQ(small->spec().name, w.spec().name);
+    EXPECT_LT(small->spec().inputBytes, w.spec().inputBytes);
+    // Extreme scaling clamps every dimension at 1 and still traces.
+    auto tiny = w.scaled(1e-4);
+    AgentTraceParams p;
+    auto items = drainItems(*tiny->makeAgentTrace(p));
+    EXPECT_FALSE(items.empty());
+}
+
+TEST(DnnSpecTest, ChunkingPaysTheRestagePenalty)
+{
+    // Chunks re-stage the full intermediate-activation footprint, so
+    // the sum of chunk inputs exceeds the unchunked input.
+    DnnWorkload w(dnnNetworkByName("lenet"));
+    auto chunk = w.chunked(4);
+    EXPECT_EQ(chunk->spec().name, w.spec().name);
+    EXPECT_GT(4 * chunk->spec().inputBytes, w.spec().inputBytes);
+    EXPECT_LT(chunk->spec().inputBytes, w.spec().inputBytes);
+}
+
+// ----------------------------- rewind ------------------------------
+
+void
+expectRewindDeterminism(AgentTraceSource &src, std::size_t k)
+{
+    std::vector<TraceItem> full = drainItems(src);
+    ASSERT_GT(full.size(), k);
+    src.rewind();
+    TraceItem it;
+    for (std::size_t i = 0; i < k; ++i)
+        ASSERT_TRUE(src.next(it));
+    src.rewind();
+    std::vector<TraceItem> again = drainItems(src);
+    EXPECT_TRUE(sameItems(full, again));
+}
+
+TEST(DnnRewindTest, MidStreamRewindIsDeterministic)
+{
+    for (const DnnNetworkConfig &cfg : dnnNetworks()) {
+        SCOPED_TRACE(cfg.name);
+        DnnWorkload w(cfg);
+        AgentTraceParams p;
+        p.numAgents = 2;
+        auto src = w.makeAgentTrace(p);
+        expectRewindDeterminism(*src, 23);
+    }
+}
+
+TEST(DnnRewindTest, EqualConfigsGiveBitIdenticalStreams)
+{
+    DnnWorkload w(dnnNetworkByName("lenet"));
+    AgentTraceParams p;
+    p.agentIndex = 1;
+    p.numAgents = 3;
+    auto a = drainItems(*w.makeAgentTrace(p));
+    auto b = drainItems(*w.makeAgentTrace(p));
+    EXPECT_TRUE(sameItems(a, b));
+}
+
+// --------------------- coalescing interaction ----------------------
+
+void
+expectEquivalentUnderCoalescing(const DnnWorkload &w)
+{
+    SCOPED_TRACE(w.spec().name);
+    AgentTraceParams p;
+    auto plain = w.makeAgentTrace(p);
+    CoalescingTraceSource coalesced(w.makeAgentTrace(p), 512);
+    DnnLayout lay = layoutOf(w);
+    DnnSummary a = drainDnn(*plain, lay);
+    DnnSummary b = drainDnn(coalesced, lay);
+    EXPECT_EQ(a.weightWords, b.weightWords);
+    EXPECT_EQ(a.actWords, b.actWords);
+    EXPECT_EQ(a.storeWords, b.storeWords);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.weightAddrs, b.weightAddrs);
+    EXPECT_EQ(a.actAddrs, b.actAddrs);
+    EXPECT_EQ(a.storeAddrs, b.storeAddrs);
+    // The whole point: materially fewer items downstream.
+    EXPECT_LT(b.items, a.items);
+}
+
+TEST(DnnCoalesceTest, ConvAndFcStreamsAreEquivalent)
+{
+    DnnWorkload conv(singleLayerNet(
+        "conv1", convLayer(3, 16, 16, 8, 3, 2, 1), 1, 4));
+    DnnWorkload fc(singleLayerNet("fc1", fcLayer(100, 24), 1, 4));
+    expectEquivalentUnderCoalescing(conv);
+    expectEquivalentUnderCoalescing(fc);
+}
+
+TEST(DnnCoalesceTest, WeightStreamsCoalesceIntoFullBursts)
+{
+    // fc(64, 8): each channel's weight block is exactly one 512B
+    // aligned window (16 words), so every weight burst must arrive
+    // fully fused — 8 items of burst 16, never word-by-word.
+    DnnWorkload w(singleLayerNet("fcw", fcLayer(64, 8), 1, 4));
+    AgentTraceParams p;
+    CoalescingTraceSource coalesced(w.makeAgentTrace(p), 512);
+    DnnLayout lay = layoutOf(w);
+    std::uint64_t weight_items = 0;
+    for (const TraceItem &it : drainItems(coalesced)) {
+        if (it.kind != TraceItem::Kind::load ||
+            it.addr >= lay.imageBase) {
+            continue;
+        }
+        ++weight_items;
+        EXPECT_EQ(it.burst, 16u);
+        EXPECT_EQ(it.addr % 512, 0u);
+    }
+    EXPECT_EQ(weight_items, 8u);
+}
+
+TEST(DnnCoalesceTest, ActivationBurstsNeverCrossRowBoundaries)
+{
+    // The guard unit in the row pitch keeps consecutive rows
+    // non-contiguous: every coalesced activation burst must stay
+    // inside one (channel, row) slot.
+    DnnWorkload conv(singleLayerNet(
+        "convr", convLayer(2, 8, 8, 4, 3), 1, 2));
+    DnnWorkload fc(singleLayerNet("fcr", fcLayer(100, 24), 1, 4));
+    for (const DnnWorkload *w : {&conv, &fc}) {
+        SCOPED_TRACE(w->spec().name);
+        AgentTraceParams p;
+        CoalescingTraceSource coalesced(w->makeAgentTrace(p), 512);
+        DnnLayout lay = layoutOf(*w);
+        const DnnModel::ActGeom geom = w->model().inputGeom(0);
+        std::uint64_t pitch = lay.rowPitch(geom.width);
+        std::uint64_t row_words = wordsOf(geom.width);
+        std::uint64_t act_items = 0;
+        for (const TraceItem &it : drainItems(coalesced)) {
+            if (it.kind != TraceItem::Kind::load ||
+                it.addr < lay.imageBase) {
+                continue;
+            }
+            ++act_items;
+            std::uint64_t first = (it.addr - lay.imageBase) / pitch;
+            std::uint64_t last =
+                (it.addr + it.bytes() - 1 - lay.imageBase) / pitch;
+            EXPECT_EQ(first, last);
+            EXPECT_LE(it.burst, row_words);
+        }
+        EXPECT_GT(act_items, 0u);
+    }
+}
+
+} // anonymous namespace
+} // namespace workload
+} // namespace dramless
